@@ -1,0 +1,302 @@
+(* msp — command-line driver for the Mobile Server Problem library.
+
+   Subcommands:
+     msp list                      available algorithms, workloads, experiments
+     msp run ...                   one algorithm on one workload
+     msp compare ...               every algorithm on one workload
+     msp plot ...                  terminal chart of a 1-D run vs the optimum
+     msp experiment <id> ...       a catalog experiment (e1..e10, t1, a1..a2,
+                                   x1, b1)
+
+   Examples:
+     dune exec bin/msp_cli.exe -- run --algorithm mtc --workload clusters \
+       --rounds 200 -D 4 --delta 0.5 --opt
+     dune exec bin/msp_cli.exe -- experiment e1 --quick *)
+
+module MS = Mobile_server
+open Cmdliner
+
+(* --- Shared options ------------------------------------------------- *)
+
+let d_factor =
+  Arg.(value & opt float 4.0 & info [ "D"; "d-factor" ] ~docv:"D"
+         ~doc:"Movement cost weight $(docv) (>= 1).")
+
+let move_limit =
+  Arg.(value & opt float 1.0 & info [ "m"; "move-limit" ] ~docv:"M"
+         ~doc:"Per-round movement limit $(docv) of the offline optimum.")
+
+let delta =
+  Arg.(value & opt float 0.0 & info [ "delta" ] ~docv:"DELTA"
+         ~doc:"Resource augmentation: the online server moves \
+               (1+$(docv))·m per round.")
+
+let variant =
+  let parse s =
+    match MS.Variant.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  let print ppf v = MS.Variant.pp ppf v in
+  Arg.(value
+       & opt (conv (parse, print)) MS.Variant.Move_first
+       & info [ "variant" ] ~docv:"VARIANT"
+           ~doc:"Cost variant: move-first (default) or serve-first.")
+
+let rounds =
+  Arg.(value & opt int 200 & info [ "rounds"; "T" ] ~docv:"T"
+         ~doc:"Number of rounds.")
+
+let dim =
+  Arg.(value & opt int 2 & info [ "dim" ] ~docv:"DIM"
+         ~doc:"Dimension of the Euclidean space.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"PRNG seed; every run is deterministic given the seed.")
+
+let verbose =
+  let setup verbose =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+  in
+  Term.(const setup
+        $ Arg.(value & flag
+               & info [ "v"; "verbose" ]
+                   ~doc:"Enable solver diagnostics on stderr."))
+
+let config_term =
+  let make d m delta variant =
+    try Ok (MS.Config.make ~d_factor:d ~move_limit:m ~delta ~variant ())
+    with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Term.(term_result (const make $ d_factor $ move_limit $ delta $ variant))
+
+(* --- Workloads ------------------------------------------------------ *)
+
+let workload_names =
+  [ "clusters"; "bursts"; "cars"; "random-walk"; "commuter"; "disaster";
+    "disaster-single"; "hotspots"; "zipf-content"; "thm1"; "thm2"; "thm3";
+    "thm8" ]
+
+let build_workload ~name ~dim ~t ~seed config =
+  let rng = Prng.Stream.named ~name:("cli-" ^ name) ~seed in
+  match name with
+  | "clusters" -> Ok (Workloads.Clusters.generate ~dim ~t rng)
+  | "bursts" -> Ok (Workloads.Bursts.generate ~dim ~t rng)
+  | "cars" -> Ok (Workloads.Cars.generate ~dim ~t rng)
+  | "random-walk" -> Ok (Workloads.Random_walk.generate ~clients:3 ~dim ~t rng)
+  | "commuter" -> Ok (Workloads.Commuter.generate ~dim ~t rng)
+  | "disaster" -> Ok (Workloads.Disaster.generate ~dim ~t rng)
+  | "disaster-single" -> Ok (Workloads.Disaster.generate_single ~dim ~t rng)
+  | "hotspots" -> Ok (Workloads.Hotspots.generate ~dim ~t rng)
+  | "zipf-content" -> Ok (Workloads.Popular_content.generate ~dim ~t rng)
+  | "thm1" ->
+    Ok (Adversary.Thm1.generate ~dim ~t config rng).Adversary.Construction
+         .instance
+  | "thm2" ->
+    (try
+       Ok
+         (Adversary.Thm2.generate ~dim ~r_min:1 ~r_max:2 config rng)
+           .Adversary.Construction.instance
+     with Invalid_argument msg -> Error (`Msg msg))
+  | "thm3" ->
+    Ok (Adversary.Thm3.generate ~dim ~r:4 config rng).Adversary.Construction
+         .instance
+  | "thm8" ->
+    (try
+       Ok
+         (Adversary.Thm8.generate ~dim ~t ~epsilon:0.5 config rng)
+           .Adversary.Construction.instance
+     with Invalid_argument msg -> Error (`Msg msg))
+  | other -> Error (`Msg (Printf.sprintf "unknown workload %S" other))
+
+let workload =
+  Arg.(value & opt string "clusters"
+       & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf "Workload family: %s."
+                   (String.concat ", " workload_names)))
+
+let compute_opt config inst =
+  if MS.Instance.dim inst = 1 then Offline.Line_dp.optimum config inst
+  else Offline.Convex_opt.optimum config inst
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    print_endline "algorithms (dim >= 2):";
+    List.iter (Printf.printf "  %s\n") (Baselines.Registry.names ~dim:2);
+    print_endline "algorithms (extra in dim 1):";
+    Printf.printf "  work-function\n";
+    print_endline "workloads:";
+    List.iter (Printf.printf "  %s\n") workload_names;
+    print_endline "experiments:";
+    List.iter (Printf.printf "  %s\n") Experiments.Catalog.ids
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms, workloads and experiments.")
+    Term.(const action $ const ())
+
+(* --- run ------------------------------------------------------------ *)
+
+let algorithm_name =
+  Arg.(value & opt string "mtc"
+       & info [ "algorithm"; "a" ] ~docv:"NAME" ~doc:"Algorithm to run.")
+
+let with_opt =
+  Arg.(value & flag
+       & info [ "opt" ]
+           ~doc:"Also compute the offline optimum and report the ratio.")
+
+let run_cmd =
+  let action () config name wname dim t seed with_opt =
+    match Baselines.Registry.find ~dim name with
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" name))
+    | Some alg ->
+      Result.map
+        (fun inst ->
+          let rng = Prng.Stream.named ~name:"cli-run" ~seed in
+          let run = MS.Engine.run ~rng config alg inst in
+          let stats = MS.Instance_stats.compute inst in
+          Format.printf "instance : %a@." MS.Instance.pp inst;
+          Format.printf "regime   : %s@."
+            (MS.Instance_stats.regime
+               ~move_limit:(MS.Config.offline_limit config) stats);
+          Format.printf "model    : %a@." MS.Config.pp config;
+          Format.printf "algorithm: %s@." alg.MS.Algorithm.name;
+          Format.printf "cost     : %.4f (movement %.4f + service %.4f)@."
+            (MS.Cost.total run.MS.Engine.cost)
+            run.MS.Engine.cost.MS.Cost.move run.MS.Engine.cost.MS.Cost.service;
+          if with_opt then begin
+            let opt = compute_opt config inst in
+            Format.printf "optimum  : %.4f@." opt;
+            Format.printf "ratio    : %.4f@."
+              (MS.Cost.total run.MS.Engine.cost /. opt)
+          end)
+        (build_workload ~name:wname ~dim ~t ~seed config)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one algorithm on one workload.")
+    Term.(term_result
+            (const action $ verbose $ config_term $ algorithm_name
+             $ workload $ dim $ rounds $ seed $ with_opt))
+
+(* --- compare -------------------------------------------------------- *)
+
+let compare_cmd =
+  let action () config wname dim t seed =
+    Result.map
+      (fun inst ->
+        let opt = compute_opt config inst in
+        let rows =
+          List.map
+            (fun alg ->
+              let rng = Prng.Stream.named ~name:"cli-compare" ~seed in
+              let cost = MS.Engine.total_cost ~rng config alg inst in
+              [ alg.MS.Algorithm.name; Tables.cell cost;
+                Tables.cell (cost /. opt) ])
+            (Baselines.Registry.all ~dim)
+        in
+        let table =
+          Tables.create
+            ~aligns:[ Tables.Left; Tables.Right; Tables.Right ]
+            ~header:[ "algorithm"; "cost"; "cost/OPT" ]
+            (rows @ [ [ "(offline optimum)"; Tables.cell opt; "1" ] ])
+        in
+        Tables.print
+          ~title:(Printf.sprintf "%s, T = %d, dim = %d" wname t dim)
+          table)
+      (build_workload ~name:wname ~dim ~t ~seed config)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run every algorithm on one workload.")
+    Term.(term_result
+            (const action $ verbose $ config_term $ workload $ dim $ rounds
+             $ seed))
+
+(* --- plot ------------------------------------------------------------ *)
+
+let plot_cmd =
+  let action () config wname t seed =
+    (* 1-D only: chart server trajectories against the request stream. *)
+    Result.bind (build_workload ~name:wname ~dim:1 ~t ~seed config)
+      (fun inst ->
+        if MS.Instance.length inst = 0 then Error (`Msg "empty instance")
+        else begin
+          let series_of positions =
+            Array.map (fun p -> p.(0)) positions
+          in
+          let mtc_run = MS.Engine.run config MS.Mtc.algorithm inst in
+          let opt = Offline.Line_dp.solve config inst in
+          let request_track =
+            Array.map
+              (fun round ->
+                if Array.length round = 0 then Float.nan
+                else
+                  (Geometry.Vec.centroid round).(0))
+              inst.MS.Instance.steps
+          in
+          (* Fill empty rounds with the previous value so the chart is
+             total. *)
+          let last = ref inst.MS.Instance.start.(0) in
+          let request_track =
+            Array.map
+              (fun x ->
+                if Float.is_nan x then !last
+                else begin
+                  last := x;
+                  x
+                end)
+              request_track
+          in
+          print_endline
+            "requests (.), MtC (*), offline optimum (o) over time:";
+          print_string
+            (Tables.Ascii_plot.chart
+               [ ('.', request_track);
+                 ('o', series_of opt.Offline.Line_dp.positions);
+                 ('*', series_of mtc_run.MS.Engine.positions) ]);
+          Printf.printf "MtC cost %.2f vs OPT %.2f (ratio %.3f)\n"
+            (MS.Cost.total mtc_run.MS.Engine.cost)
+            opt.Offline.Line_dp.cost
+            (MS.Cost.total mtc_run.MS.Engine.cost /. opt.Offline.Line_dp.cost);
+          Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "plot"
+       ~doc:"Chart a 1-D run (requests, MtC, optimum) in the terminal.")
+    Term.(term_result
+            (const action $ verbose $ config_term $ workload $ rounds $ seed))
+
+(* --- experiment ----------------------------------------------------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (e1..e9, t1, or 'all').")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Reduced horizons and seed counts.")
+  in
+  let action () id quick seed =
+    try
+      if id = "all" then
+        List.iter Experiments.Catalog.print_result
+          (Experiments.Catalog.run_all ~seed ~quick ())
+      else
+        Experiments.Catalog.print_result
+          (Experiments.Catalog.run ~seed ~quick id);
+      Ok ()
+    with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Run a reproduction experiment from the catalog.")
+    Term.(term_result (const action $ verbose $ id $ quick $ seed))
+
+let () =
+  let info =
+    Cmd.info "msp" ~version:"1.0.0"
+      ~doc:"The Mobile Server Problem (SPAA 2017) — reproduction toolkit."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; plot_cmd; experiment_cmd ]))

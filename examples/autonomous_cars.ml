@@ -1,0 +1,59 @@
+(* Autonomous-car platoon — the paper's opening motivation.
+
+   A platoon of cars shares a coordination page carried by a mobile
+   server (think: one car, or a drone, holds the master copy).  Every
+   round each car requests data; the server may relocate at bounded
+   speed.  We compare the algorithms across server speeds, showing the
+   Theorem 8 / Theorem 10 phase change: once the server is at least as
+   fast as the platoon, costs collapse to a small constant over OPT.
+
+   Run with:  dune exec examples/autonomous_cars.exe *)
+
+module MS = Mobile_server
+
+let () =
+  let dim = 2 and t = 400 in
+  let platoon_speed = 1.0 in
+  let rng = Prng.Stream.named ~name:"example-cars" ~seed:7 in
+  let instance =
+    Workloads.Cars.generate ~cars:5 ~platoon_speed ~lane_gap:0.5 ~jitter:0.1
+      ~dim ~t rng
+  in
+  Format.printf
+    "Platoon of 5 cars, %d rounds, cruise speed %.1f per round.@.@." t
+    platoon_speed;
+  let server_speeds = [ 0.5; 0.8; 1.0; 1.5; 2.0 ] in
+  let algorithms =
+    [
+      MS.Mtc.algorithm;
+      Baselines.Greedy.algorithm;
+      Baselines.Follow_ema.algorithm ();
+      MS.Algorithm.stay_put;
+    ]
+  in
+  let rows =
+    List.map
+      (fun speed ->
+        let config =
+          MS.Config.make ~d_factor:4.0 ~move_limit:speed ~delta:0.0 ()
+        in
+        let opt = Offline.Convex_opt.optimum ~max_iter:150 config instance in
+        Tables.cell speed
+        :: Tables.cell opt
+        :: List.map
+             (fun alg ->
+               let cost = MS.Engine.total_cost config alg instance in
+               Tables.cell (cost /. opt))
+             algorithms)
+      server_speeds
+  in
+  let header =
+    "server speed" :: "OPT cost"
+    :: List.map (fun a -> a.MS.Algorithm.name ^ " /OPT") algorithms
+  in
+  Tables.print ~title:"Cost against the offline optimum (D = 4)"
+    (Tables.create ~header rows);
+  print_endline
+    "Below cruise speed the server falls behind and every online\n\
+     algorithm degrades (Theorem 8's regime); at or above cruise speed\n\
+     MtC tracks the platoon within a small constant of OPT (Theorem 10)."

@@ -1,0 +1,42 @@
+(* Quickstart: define a model, build a tiny instance, run Move-to-Center
+   and compare against the exact offline optimum.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Vec = Geometry.Vec
+module MS = Mobile_server
+
+let () =
+  (* 1. The model: movement weight D = 4, per-round movement limit
+     m = 1, and 50% resource augmentation for the online server. *)
+  let config = MS.Config.make ~d_factor:4.0 ~move_limit:1.0 ~delta:0.5 () in
+  Format.printf "model: %a@." MS.Config.pp config;
+
+  (* 2. An instance on the line: the request cloud sits at 0 for ten
+     rounds, then jumps to 8 for ten rounds. *)
+  let round_at x = [| Vec.make1 x; Vec.make1 (x +. 0.5) |] in
+  let steps =
+    Array.init 20 (fun t -> if t < 10 then round_at 0.0 else round_at 8.0)
+  in
+  let instance = MS.Instance.make ~start:(Vec.zero 1) steps in
+  Format.printf "instance: %a@." MS.Instance.pp instance;
+
+  (* 3. Run the paper's algorithm. *)
+  let run = MS.Engine.run config MS.Mtc.algorithm instance in
+  Format.printf "MtC total cost: %.3f (movement %.3f + service %.3f)@."
+    (MS.Cost.total run.MS.Engine.cost)
+    run.MS.Engine.cost.MS.Cost.move run.MS.Engine.cost.MS.Cost.service;
+  Format.printf "MtC final position: %a@." Vec.pp
+    run.MS.Engine.positions.(19);
+
+  (* 4. Compare with the exact 1-D offline optimum (which is NOT
+     augmented: it moves at most m per round). *)
+  let opt = Offline.Line_dp.solve config instance in
+  Format.printf "offline optimum: %.3f@." opt.Offline.Line_dp.cost;
+  Format.printf "empirical competitive ratio: %.3f@."
+    (MS.Cost.total run.MS.Engine.cost /. opt.Offline.Line_dp.cost);
+
+  (* 5. And with a baseline that never moves. *)
+  let lazy_cost = MS.Engine.total_cost config MS.Algorithm.stay_put instance in
+  Format.printf "stay-put baseline: %.3f (%.2fx MtC)@." lazy_cost
+    (lazy_cost /. MS.Cost.total run.MS.Engine.cost)

@@ -1,0 +1,37 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Config = Mobile_server.Config
+
+let generate ?(r = 1) ?rng ~dim ~t (config : Config.t) (alg : Mobile_server.Algorithm.t) =
+  if t < 1 then invalid_arg "Adaptive.generate: t < 1";
+  if dim < 1 then invalid_arg "Adaptive.generate: dim < 1";
+  if r < 1 then invalid_arg "Adaptive.generate: r < 1";
+  let tie_rng =
+    match rng with Some g -> g | None -> Prng.Stream.named ~name:"adaptive" ~seed:0
+  in
+  let m = Config.offline_limit config in
+  let start = Vec.zero dim in
+  let stepper = alg.Mobile_server.Algorithm.make ?rng config ~start in
+  let online_limit = Config.online_limit config in
+  let online = ref (Vec.copy start) in
+  let adversary = ref (Vec.copy start) in
+  let steps = Array.make t [||] in
+  let trajectory = Array.make t start in
+  for i = 0 to t - 1 do
+    (* Run away from the online server. *)
+    let away =
+      match Vec.normalize (Vec.sub !adversary !online) with
+      | Some u -> u
+      | None -> Prng.Dist.direction tie_rng ~dim
+    in
+    adversary := Vec.add !adversary (Vec.scale m away);
+    trajectory.(i) <- Vec.copy !adversary;
+    let requests = Array.make r (Vec.copy !adversary) in
+    steps.(i) <- requests;
+    (* Let the online algorithm react, honoring its budget. *)
+    let proposed = stepper requests in
+    online := Vec.clamp_step ~from:!online online_limit proposed
+  done;
+  Construction.make
+    ~instance:(Instance.make ~start steps)
+    ~adversary_positions:trajectory

@@ -1,0 +1,22 @@
+(** An adaptive adversary for stress testing.
+
+    Unlike the oblivious constructions, this adversary {e simulates} the
+    (deterministic) online algorithm round by round and always runs away
+    from the online server: its server steps distance [m] directly away
+    from the online position, and the round's requests sit on the
+    adversary's new position, so the adversary's own cost is pure
+    movement while the online algorithm is kept at arm's length.
+
+    Against MtC this realizes the worst case of the augmented analysis
+    empirically; it is also a quick sanity check that no implemented
+    algorithm accidentally "cheats" (an algorithm beating this adversary
+    by a wide margin would indicate a cost-accounting bug). *)
+
+val generate :
+  ?r:int -> ?rng:Prng.Xoshiro.t -> dim:int -> t:int ->
+  Mobile_server.Config.t -> Mobile_server.Algorithm.t -> Construction.t
+(** [generate ~dim ~t config alg] simulates [alg] under [config] for [t]
+    rounds and returns the adaptively-built construction with [r]
+    requests per round (default 1).  [rng] seeds the simulated algorithm
+    if it is randomized, and breaks the tie when the two servers
+    coincide (a random unit direction). *)

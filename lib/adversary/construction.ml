@@ -1,0 +1,33 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Engine = Mobile_server.Engine
+module Cost = Mobile_server.Cost
+
+type t = { instance : Instance.t; adversary_positions : Vec.t array }
+
+let make ~instance ~adversary_positions =
+  if Array.length adversary_positions <> Instance.length instance then
+    invalid_arg "Construction.make: trajectory length mismatch";
+  let d = Instance.dim instance in
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> d then
+        invalid_arg "Construction.make: trajectory dimension mismatch")
+    adversary_positions;
+  { instance; adversary_positions }
+
+let adversary_cost config c =
+  Cost.total
+    (Engine.replay config ~start:c.instance.Instance.start
+       c.adversary_positions c.instance)
+
+let ratio_sample ?rng config alg c =
+  let opt = adversary_cost config c in
+  if opt <= 0.0 then
+    invalid_arg "Construction.ratio_sample: adversary cost is zero";
+  Engine.total_cost ?rng config alg c.instance /. opt
+
+let direction_of_coin ~dim coin =
+  let v = Vec.zero dim in
+  v.(0) <- (if coin then 1.0 else -1.0);
+  v

@@ -1,0 +1,42 @@
+(** A lower-bound construction: an instance together with the
+    adversary's own (feasible) server trajectory.
+
+    The paper's lower bounds (Theorems 1, 2, 3, 8) are proved by
+    exhibiting a randomized request sequence {e and} the strategy the
+    adversary's server follows on it.  Pricing that trajectory gives an
+    upper bound on OPT, so
+
+    [cost(online run) / cost(adversary trajectory)]
+
+    is a valid {e lower} bound sample on the competitive ratio — exactly
+    the quantity the experiments average over coins. *)
+
+type t = {
+  instance : Mobile_server.Instance.t;
+  adversary_positions : Geometry.Vec.t array;
+      (** The adversary server's position after each round; a feasible
+          trajectory for the offline budget [m], length
+          [Instance.length instance]. *)
+}
+
+val make :
+  instance:Mobile_server.Instance.t ->
+  adversary_positions:Geometry.Vec.t array -> t
+(** Validates lengths and dimensions. *)
+
+val adversary_cost : Mobile_server.Config.t -> t -> float
+(** [adversary_cost config c] prices the adversary trajectory under
+    [config] (checking feasibility for the offline budget) — an upper
+    bound on the instance's OPT. *)
+
+val ratio_sample :
+  ?rng:Prng.Xoshiro.t -> Mobile_server.Config.t ->
+  Mobile_server.Algorithm.t -> t -> float
+(** [ratio_sample config alg c] runs [alg] on the instance and divides
+    its cost by {!adversary_cost}.  Raises [Invalid_argument] if the
+    adversary cost is zero (a degenerate construction). *)
+
+val direction_of_coin : dim:int -> bool -> Geometry.Vec.t
+(** The two opposite unit directions the constructions move along:
+    [+e_1] for [true], [−e_1] for [false].  (The lower bounds only ever
+    need one axis, in any dimension.) *)

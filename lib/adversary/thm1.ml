@@ -1,0 +1,33 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Config = Mobile_server.Config
+
+let generate ?x ?(requests_per_round = 1) ~dim ~t (config : Config.t) rng =
+  if t < 1 then invalid_arg "Thm1.generate: t < 1";
+  if dim < 1 then invalid_arg "Thm1.generate: dim < 1";
+  if requests_per_round < 1 then invalid_arg "Thm1.generate: r < 1";
+  let x =
+    match x with
+    | Some x ->
+      if x < 0 || x > t then invalid_arg "Thm1.generate: x outside [0, t]";
+      x
+    | None -> Stdlib.max 1 (int_of_float (Float.round (sqrt (float_of_int t))))
+  in
+  let m = Config.offline_limit config in
+  let dir = Construction.direction_of_coin ~dim (Prng.Dist.fair_coin rng) in
+  let start = Vec.zero dim in
+  (* Adversary position after round t (1-based): t·m along [dir]. *)
+  let adversary_positions =
+    Array.init t (fun i -> Vec.scale (float_of_int (i + 1) *. m) dir)
+  in
+  let steps =
+    Array.init t (fun i ->
+        let where =
+          if i < x then start
+          else adversary_positions.(i)
+        in
+        Array.make requests_per_round (Vec.copy where))
+  in
+  Construction.make
+    ~instance:(Instance.make ~start steps)
+    ~adversary_positions

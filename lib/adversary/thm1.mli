@@ -1,0 +1,20 @@
+(** The Theorem 1 construction: no online algorithm is competitive
+    without resource augmentation.
+
+    The adversary flips one fair coin and walks its server distance [m]
+    per round in the chosen direction, for all [T] rounds.  During the
+    first [x] rounds the requests sit on the start position; afterwards
+    they sit on the adversary's server.  With probability 1/2 the online
+    server ends phase 1 at distance at least [x·m] from the adversary
+    and can never catch up (both move at the same speed), so it pays
+    [Ω((T−x)·x·m)] while the adversary pays [O(T·D·m + m·x²)].
+    Choosing [x = √T] yields the ratio [Ω(√(T/D))]. *)
+
+val generate :
+  ?x:int -> ?requests_per_round:int -> dim:int -> t:int ->
+  Mobile_server.Config.t -> Prng.Xoshiro.t -> Construction.t
+(** [generate ~dim ~t config rng] draws the coin from [rng] and builds
+    the [t]-round construction in dimension [dim].  [x] defaults to
+    [max 1 (round (sqrt t))]; [requests_per_round] defaults to 1.
+    Raises [Invalid_argument] if [t < 1], [dim < 1], or [x] is outside
+    [[0, t]]. *)

@@ -1,0 +1,48 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Config = Mobile_server.Config
+
+let generate ?x ?(cycles = 4) ?(planar = false) ~dim ~r_min ~r_max
+    (config : Config.t) rng =
+  if dim < 1 then invalid_arg "Thm2.generate: dim < 1";
+  if planar && dim < 2 then invalid_arg "Thm2.generate: planar needs dim >= 2";
+  if r_min < 1 || r_max < r_min then
+    invalid_arg "Thm2.generate: need 1 <= r_min <= r_max";
+  if cycles < 1 then invalid_arg "Thm2.generate: cycles < 1";
+  let delta = config.Config.delta in
+  if delta <= 0.0 then invalid_arg "Thm2.generate: requires delta > 0";
+  let x =
+    match x with
+    | Some x ->
+      if x < 1 then invalid_arg "Thm2.generate: x < 1";
+      x
+    | None -> Stdlib.max 2 (int_of_float (Float.ceil (2.0 /. delta)))
+  in
+  let m = Config.offline_limit config in
+  let catch_up = Stdlib.max 1 (int_of_float (Float.ceil (float_of_int x /. delta))) in
+  let start = Vec.zero dim in
+  let steps = ref [] and trajectory = ref [] in
+  let pos = ref (Vec.copy start) in
+  for _cycle = 1 to cycles do
+    let dir =
+      if planar then Prng.Dist.direction rng ~dim
+      else Construction.direction_of_coin ~dim (Prng.Dist.fair_coin rng)
+    in
+    let cycle_start = Vec.copy !pos in
+    (* Phase 1: requests pinned to the cycle start while the adversary
+       walks away. *)
+    for _ = 1 to x do
+      pos := Vec.add !pos (Vec.scale m dir);
+      trajectory := Vec.copy !pos :: !trajectory;
+      steps := Array.make r_min (Vec.copy cycle_start) :: !steps
+    done;
+    (* Phase 2: requests ride on the adversary's server. *)
+    for _ = 1 to catch_up do
+      pos := Vec.add !pos (Vec.scale m dir);
+      trajectory := Vec.copy !pos :: !trajectory;
+      steps := Array.make r_max (Vec.copy !pos) :: !steps
+    done
+  done;
+  Construction.make
+    ~instance:(Instance.make ~start (Array.of_list (List.rev !steps)))
+    ~adversary_positions:(Array.of_list (List.rev !trajectory))

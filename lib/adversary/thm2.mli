@@ -1,0 +1,24 @@
+(** The Theorem 2 construction: even with augmentation [(1+δ)m], every
+    online algorithm is [Ω((1/δ)·Rmax/Rmin)]-competitive.
+
+    Each cycle the adversary flips a fresh fair coin and walks its
+    server distance [m] per round in the chosen direction for the whole
+    cycle.  Phase 1 ([x] rounds) issues [Rmin] requests on the cycle's
+    starting position; phase 2 ([⌈x/δ⌉] rounds — the time an online
+    server that fell [x·m] behind needs to catch up at speed
+    [(1+δ)m]) issues [Rmax] requests on the adversary's server.  The
+    coin is independent of everything prior, so cycles compose and the
+    expected ratio is [Ω((1/δ)·Rmax/Rmin)]. *)
+
+val generate :
+  ?x:int -> ?cycles:int -> ?planar:bool -> dim:int -> r_min:int ->
+  r_max:int -> Mobile_server.Config.t -> Prng.Xoshiro.t -> Construction.t
+(** [generate ~dim ~r_min ~r_max config rng] builds the construction.
+    [config.delta] must be positive (it determines the phase-2 length).
+    [x] defaults to [max 2 ⌈2/δ⌉] as the proof requires; [cycles]
+    defaults to 4.  With [planar:true] (default [false]; requires
+    [dim >= 2]) each cycle walks in a uniformly random direction instead
+    of [±e_1], producing a genuinely two-dimensional instance — the
+    Yao-style argument is unchanged since the online algorithm still
+    cannot predict the cycle's direction.  Raises [Invalid_argument] on
+    non-positive parameters, [r_max < r_min], or [config.delta <= 0]. *)

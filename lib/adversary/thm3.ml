@@ -1,0 +1,26 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Config = Mobile_server.Config
+
+let generate ?(cycles = 16) ~dim ~r (config : Config.t) rng =
+  if dim < 1 then invalid_arg "Thm3.generate: dim < 1";
+  if r < 1 then invalid_arg "Thm3.generate: r < 1";
+  if cycles < 1 then invalid_arg "Thm3.generate: cycles < 1";
+  let m = Config.offline_limit config in
+  let start = Vec.zero dim in
+  let steps = ref [] and trajectory = ref [] in
+  let pos = ref (Vec.copy start) in
+  for _cycle = 1 to cycles do
+    (* Round 1: requests where the adversary already sits; then it
+       steps away by the coin. *)
+    steps := Array.make r (Vec.copy !pos) :: !steps;
+    let dir = Construction.direction_of_coin ~dim (Prng.Dist.fair_coin rng) in
+    pos := Vec.add !pos (Vec.scale m dir);
+    trajectory := Vec.copy !pos :: !trajectory;
+    (* Round 2: requests on its new position; it does not move. *)
+    steps := Array.make r (Vec.copy !pos) :: !steps;
+    trajectory := Vec.copy !pos :: !trajectory
+  done;
+  Construction.make
+    ~instance:(Instance.make ~start (Array.of_list (List.rev !steps)))
+    ~adversary_positions:(Array.of_list (List.rev !trajectory))

@@ -1,0 +1,20 @@
+(** The Theorem 3 construction: in the Answer-First variant the
+    competitive ratio is [Ω(r/D)] even with a fixed request count [r].
+
+    Each two-round cycle: round 1 issues [r] requests on the adversary's
+    current position (where it just served for free), then the adversary
+    flips a fair coin and steps distance [m] left or right; round 2
+    issues [r] requests on its new position and it stays put.  The
+    online algorithm must serve round 2 {e before} moving, and its
+    position when the coin was flipped is independent of the coin, so in
+    expectation it pays [Ω(r·m)] per cycle against the adversary's
+    [D·m]. *)
+
+val generate :
+  ?cycles:int -> dim:int -> r:int ->
+  Mobile_server.Config.t -> Prng.Xoshiro.t -> Construction.t
+(** [generate ~dim ~r config rng] builds [cycles] (default 16) two-round
+    cycles.  Intended for [config.variant = Serve_first]; the generator
+    itself is variant-agnostic (the instance can also be priced under
+    Move-first for comparison).  Raises [Invalid_argument] if [dim < 1],
+    [r < 1] or [cycles < 1]. *)

@@ -1,0 +1,47 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Config = Mobile_server.Config
+
+let generate ?x ~dim ~t ~epsilon (config : Config.t) rng =
+  if t < 1 then invalid_arg "Thm8.generate: t < 1";
+  if dim < 1 then invalid_arg "Thm8.generate: dim < 1";
+  if epsilon <= 0.0 then invalid_arg "Thm8.generate: epsilon <= 0";
+  let ms = Config.offline_limit config in
+  let ma = (1.0 +. epsilon) *. ms in
+  let x =
+    match x with
+    | Some x ->
+      if x < 1 then invalid_arg "Thm8.generate: x < 1";
+      x
+    | None ->
+      Stdlib.max 1
+        (int_of_float (Float.round (sqrt (float_of_int t /. (1.0 +. epsilon)))))
+  in
+  let xf = float_of_int x in
+  let reach = xf *. ma in
+  let phase1 = int_of_float (Float.ceil (reach /. ms)) in
+  if phase1 > t then
+    invalid_arg "Thm8.generate: phase 1 longer than the horizon t";
+  let dir = Construction.direction_of_coin ~dim (Prng.Dist.fair_coin rng) in
+  let at dist = Vec.scale dist dir in
+  (* Server walks to [reach] at speed ms (last step possibly partial),
+     then marches on at speed ms. *)
+  let adversary_positions =
+    Array.init t (fun i ->
+        let round = float_of_int (i + 1) in
+        if i < phase1 then at (Float.min (round *. ms) reach)
+        else at (reach +. ((round -. float_of_int phase1) *. ms)))
+  in
+  (* Agent: parked at the origin, chases at speed ma over the last x
+     rounds of phase 1, then rides along with the adversary. *)
+  let agent_position i =
+    let round = i + 1 in
+    if round <= phase1 - x then Vec.zero dim
+    else if round <= phase1 then
+      at (Float.min (float_of_int (round - (phase1 - x)) *. ma) reach)
+    else adversary_positions.(i)
+  in
+  let steps = Array.init t (fun i -> [| agent_position i |]) in
+  Construction.make
+    ~instance:(Instance.make ~start:(Vec.zero dim) steps)
+    ~adversary_positions

@@ -1,0 +1,24 @@
+(** The Theorem 8 construction (Moving Client variant): when the agent
+    is faster than the server ([m_a = (1+ε)·m_s]) no online algorithm is
+    competitive — [Ω(√T · ε/(1+ε))].
+
+    Phase 1: the adversary's server walks away from the start at speed
+    [m_s] in a coin-chosen direction until it is [x·m_a] away; the agent
+    (which is the per-round request) stays at the start and only chases
+    during the last [x] rounds of the phase, arriving exactly when the
+    phase ends.  With probability 1/2 the online server — which cannot
+    distinguish the directions until the agent commits — is then
+    [≈ x·ε·m_s] behind and, being slower than the agent, never catches
+    up during phase 2, where agent and adversary march on together at
+    speed [m_s]. *)
+
+val generate :
+  ?x:int -> dim:int -> t:int -> epsilon:float ->
+  Mobile_server.Config.t -> Prng.Xoshiro.t -> Construction.t
+(** [generate ~dim ~t ~epsilon config rng] builds the construction with
+    server speed [m_s = Config.offline_limit config] and agent speed
+    [(1+epsilon)·m_s].  [x] defaults to
+    [max 1 (round √(t/(1+ε)))].  The resulting instance satisfies
+    [Instance.is_moving_client ~speed:((1+ε)·m_s)].  Raises
+    [Invalid_argument] if [t < 1], [dim < 1], [epsilon <= 0], or the
+    phase-1 length [⌈x·(1+ε)⌉] exceeds [t]. *)

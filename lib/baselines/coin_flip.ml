@@ -1,0 +1,29 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+
+let algorithm =
+  {
+    Mobile_server.Algorithm.name = "coin-flip";
+    make =
+      (fun ?rng (config : Config.t) ~start ->
+        let rng =
+          match rng with
+          | Some g -> g
+          | None -> Prng.Stream.named ~name:"coin-flip" ~seed:0
+        in
+        let pos = ref (Vec.copy start) in
+        let limit = Config.online_limit config in
+        fun requests ->
+          let r = Array.length requests in
+          if r > 0 then begin
+            let p =
+              Float.min 1.0
+                (float_of_int r /. (2.0 *. config.Config.d_factor))
+            in
+            if Prng.Dist.bernoulli rng ~p then begin
+              let c = Geometry.Median.center ~server:!pos requests in
+              pos := Vec.clamp_step ~from:!pos limit c
+            end
+          end;
+          !pos);
+  }

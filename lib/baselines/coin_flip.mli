@@ -1,0 +1,12 @@
+(** The Coin-Flip algorithm (Westbrook 1994), clipped.
+
+    The classical randomized 3-competitive page-migration strategy:
+    after serving a batch of [D] requests, flip a coin and with
+    probability [1/(2D)] migrate the page to the requesting location.
+    Adapted per round: with probability [r_t/(2D)] (capped at 1) the
+    server moves toward the round's center at full budget, otherwise it
+    stays.  Randomized — give the engine an explicit PRNG for
+    reproducibility; without one a fixed internal seed is used. *)
+
+val algorithm : Mobile_server.Algorithm.t
+(** The "coin-flip" algorithm. *)

@@ -1,0 +1,22 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+
+let algorithm ?(alpha = 0.2) () =
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg "Follow_ema.algorithm: alpha outside (0, 1]";
+  let name = Printf.sprintf "follow-ema(%g)" alpha in
+  {
+    Mobile_server.Algorithm.name;
+    make =
+      (fun ?rng:_ config ~start ->
+        let pos = ref (Vec.copy start) in
+        let ema = ref (Vec.copy start) in
+        let limit = Config.online_limit config in
+        fun requests ->
+          if Array.length requests > 0 then begin
+            let c = Geometry.Median.center ~server:!pos requests in
+            ema := Vec.lerp !ema c alpha
+          end;
+          pos := Vec.clamp_step ~from:!pos limit !ema;
+          !pos);
+  }

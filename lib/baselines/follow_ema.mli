@@ -1,0 +1,11 @@
+(** Exponential-moving-average tracker.
+
+    Maintains an EMA of the per-round request centers and moves toward
+    it at full budget.  The smoothing factor trades reactivity against
+    stability: [alpha = 1] degenerates to {!Greedy}, small [alpha]
+    approaches a long-run centroid.  A natural engineering baseline for
+    the edge-computing scenarios in the paper's introduction. *)
+
+val algorithm : ?alpha:float -> unit -> Mobile_server.Algorithm.t
+(** [algorithm ()] uses [alpha = 0.2].  Raises [Invalid_argument] unless
+    [0 < alpha <= 1]. *)

@@ -1,0 +1,7 @@
+module Vec = Geometry.Vec
+
+let algorithm =
+  Mobile_server.Algorithm.of_policy ~name:"greedy"
+    (fun _config ~server requests ->
+      if Array.length requests = 0 then server
+      else Geometry.Median.center ~server requests)

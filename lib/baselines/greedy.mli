@@ -1,0 +1,10 @@
+(** Greedy chaser: always move at full speed toward the round's center.
+
+    Ignores the movement weight [D] entirely — where MtC damps its step
+    by [min(1, r/D)], Greedy burns its whole budget [(1+δ)m] chasing the
+    geometric median of the current requests.  Competitive on drifting
+    workloads, but overpays movement by a factor up to [D] on jittery
+    ones; the T1 comparison quantifies this. *)
+
+val algorithm : Mobile_server.Algorithm.t
+(** The "greedy" algorithm. *)

@@ -1,0 +1,18 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+
+let stay_put = Mobile_server.Algorithm.stay_put
+
+let threshold ?(factor = 1.0) () =
+  if factor <= 0.0 then invalid_arg "Lazy_server.threshold: factor <= 0";
+  let name = Printf.sprintf "lazy-threshold(%g)" factor in
+  Mobile_server.Algorithm.of_policy ~name
+    (fun config ~server requests ->
+      if Array.length requests = 0 then server
+      else begin
+        let c = Geometry.Median.center ~server requests in
+        let trigger =
+          factor *. config.Config.d_factor *. config.Config.move_limit
+        in
+        if Vec.dist server c > trigger then c else server
+      end)

@@ -1,0 +1,18 @@
+(** Lazy strategies: move rarely or never.
+
+    {!stay_put} never moves — the degenerate baseline whose cost on a
+    drifting workload grows linearly with the drift, making the value of
+    mobility visible in the T1 comparison.
+
+    {!threshold} moves only once the center is further away than
+    [factor · D · m] and then at full speed; a classic "rent-or-buy"
+    style rule that postpones movement until the accumulated service
+    cost provably dominates. *)
+
+val stay_put : Mobile_server.Algorithm.t
+(** Never moves ("stay-put"). *)
+
+val threshold : ?factor:float -> unit -> Mobile_server.Algorithm.t
+(** [threshold ()] moves at full budget toward the center only when the
+    center is beyond [factor·D·m] (default [factor = 1.]).  Raises
+    [Invalid_argument] if [factor <= 0]. *)

@@ -1,0 +1,40 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+
+let make_stepper ~batch_of (config : Config.t) ~start =
+  let pos = ref (Vec.copy start) in
+  let limit = Config.online_limit config in
+  let batch_target = batch_of config in
+  let buffer = ref [] in
+  let buffered = ref 0 in
+  fun requests ->
+    Array.iter (fun v -> buffer := v :: !buffer) requests;
+    buffered := !buffered + Array.length requests;
+    if !buffered >= batch_target && !buffered > 0 then begin
+      let batch = Array.of_list !buffer in
+      buffer := [];
+      buffered := 0;
+      let target = Geometry.Median.center ~server:!pos batch in
+      pos := Vec.clamp_step ~from:!pos limit target
+    end;
+    !pos
+
+let with_batch k =
+  if k < 1 then invalid_arg "Move_to_min.with_batch: k < 1";
+  {
+    Mobile_server.Algorithm.name = Printf.sprintf "move-to-min(%d)" k;
+    make =
+      (fun ?rng:_ config ~start ->
+        make_stepper ~batch_of:(fun _ -> k) config ~start);
+  }
+
+let algorithm =
+  {
+    Mobile_server.Algorithm.name = "move-to-min";
+    make =
+      (fun ?rng:_ config ~start ->
+        let batch_of (c : Config.t) =
+          Stdlib.max 1 (int_of_float (Float.ceil c.Config.d_factor))
+        in
+        make_stepper ~batch_of config ~start);
+  }

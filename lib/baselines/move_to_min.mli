@@ -1,0 +1,17 @@
+(** Move-To-Min (Westbrook 1994), adapted to the mobile setting.
+
+    The classical 7-competitive page-migration strategy: collect the
+    last [D] requests, then move to the point minimizing the total
+    distance to that batch (their geometric median).  Here the jump is
+    clipped to the online budget [(1+δ)m] per round — the page cannot
+    teleport — and the batch threshold is [⌈D⌉].  The paper notes
+    (Section 5) that such batch strategies do not transfer directly to
+    the mobile model precisely because the target "may still lie outside
+    the allowed moving distance"; the T1 comparison measures how much
+    that costs. *)
+
+val algorithm : Mobile_server.Algorithm.t
+(** The "move-to-min" algorithm. *)
+
+val with_batch : int -> Mobile_server.Algorithm.t
+(** [with_batch k] uses a fixed batch size [k >= 1] instead of [⌈D⌉]. *)

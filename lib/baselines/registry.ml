@@ -1,0 +1,23 @@
+let all ~dim =
+  let common =
+    [
+      Mobile_server.Mtc.algorithm;
+      Mobile_server.Mtc.mean_variant;
+      Greedy.algorithm;
+      Lazy_server.stay_put;
+      Lazy_server.threshold ();
+      Move_to_min.algorithm;
+      Follow_ema.algorithm ();
+      Rent_or_buy.algorithm ();
+      Coin_flip.algorithm;
+    ]
+  in
+  if dim = 1 then common @ [ Work_function.algorithm ] else common
+
+let find ~dim name =
+  List.find_opt
+    (fun alg -> String.equal alg.Mobile_server.Algorithm.name name)
+    (all ~dim)
+
+let names ~dim =
+  List.map (fun alg -> alg.Mobile_server.Algorithm.name) (all ~dim)

@@ -1,0 +1,12 @@
+(** The roster of algorithms used by comparisons, examples and the CLI. *)
+
+val all : dim:int -> Mobile_server.Algorithm.t list
+(** [all ~dim] is every implemented algorithm applicable in dimension
+    [dim] — MtC and its centroid ablation, the baselines of this
+    library, and the work-function algorithm when [dim = 1]. *)
+
+val find : dim:int -> string -> Mobile_server.Algorithm.t option
+(** [find ~dim name] looks an algorithm up by its display name. *)
+
+val names : dim:int -> string list
+(** Display names, in the order {!all} returns them. *)

@@ -1,0 +1,32 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Cost = Mobile_server.Cost
+
+let algorithm ?(beta = 1.0) () =
+  if beta <= 0.0 then invalid_arg "Rent_or_buy.algorithm: beta <= 0";
+  let name = Printf.sprintf "rent-or-buy(%g)" beta in
+  {
+    Mobile_server.Algorithm.name;
+    make =
+      (fun ?rng:_ (config : Config.t) ~start ->
+        let pos = ref (Vec.copy start) in
+        let limit = Config.online_limit config in
+        let debt = ref 0.0 in
+        let moving = ref false in
+        fun requests ->
+          if Array.length requests > 0 then begin
+            debt := !debt +. Cost.service_cost !pos requests;
+            let c = Geometry.Median.center ~server:!pos requests in
+            let buy_price = beta *. config.Config.d_factor *. Vec.dist !pos c in
+            if !moving || !debt >= buy_price then begin
+              let next = Vec.clamp_step ~from:!pos limit c in
+              (* Pay the move off the debt; stop once repaid or arrived. *)
+              debt :=
+                Float.max 0.0
+                  (!debt -. (config.Config.d_factor *. Vec.dist !pos next));
+              moving := !debt > 0.0 && Vec.dist next c > 1e-12;
+              pos := next
+            end
+          end;
+          !pos);
+  }

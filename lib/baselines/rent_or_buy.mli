@@ -1,0 +1,13 @@
+(** Rent-or-buy: move only after the accumulated service cost justifies
+    the move.
+
+    The classical ski-rental intuition applied to page migration: keep
+    "renting" (serving from the current position) until the total rent
+    since the last relocation exceeds [beta · D · d(P, c)] — the "buy"
+    price of relocating to the current center — then move toward the
+    center at full speed until the debt is repaid.  With [beta = 1] this
+    mirrors the deterministic 2-competitive ski-rental threshold. *)
+
+val algorithm : ?beta:float -> unit -> Mobile_server.Algorithm.t
+(** [algorithm ()] uses [beta = 1.].  Raises [Invalid_argument] if
+    [beta <= 0]. *)

@@ -1,0 +1,115 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+
+(* Grid-backed work function.  The grid is an inclusive integer range
+   [k_lo, k_hi] of multiples of [pitch] around the start; values are
+   stored in a growable float array indexed by [k - k_lo]. *)
+type state = {
+  pitch : float;
+  anchor : float;  (* Position of grid index 0. *)
+  mutable k_lo : int;
+  mutable k_hi : int;
+  mutable values : float array;
+}
+
+let position st k = st.anchor +. (float_of_int k *. st.pitch)
+
+let value st k = st.values.(k - st.k_lo)
+
+(* Metric extension: W(x) for a fresh point x is min_y W(y) + D·|x−y|,
+   which for grid growth means extending from the boundary value. *)
+let grow st ~d_factor ~k_lo' ~k_hi' =
+  if k_lo' < st.k_lo || k_hi' > st.k_hi then begin
+    let n' = k_hi' - k_lo' + 1 in
+    let fresh = Array.make n' infinity in
+    for k = st.k_lo to st.k_hi do
+      fresh.(k - k_lo') <- value st k
+    done;
+    let step = d_factor *. st.pitch in
+    for k = st.k_lo - 1 downto k_lo' do
+      fresh.(k - k_lo') <- fresh.(k + 1 - k_lo') +. step
+    done;
+    for k = st.k_hi + 1 to k_hi' do
+      fresh.(k - k_lo') <- fresh.(k - 1 - k_lo') +. step
+    done;
+    st.k_lo <- k_lo';
+    st.k_hi <- k_hi';
+    st.values <- fresh
+  end
+
+(* One round: W_t(x) = min_y (W_{t-1}(y) + D|x−y|) + service_t(x),
+   computed by the two-pass distance transform, then add service. *)
+let update st ~d_factor requests =
+  let n = st.k_hi - st.k_lo + 1 in
+  let step = d_factor *. st.pitch in
+  let v = st.values in
+  for i = 1 to n - 1 do
+    if v.(i - 1) +. step < v.(i) then v.(i) <- v.(i - 1) +. step
+  done;
+  for i = n - 2 downto 0 do
+    if v.(i + 1) +. step < v.(i) then v.(i) <- v.(i + 1) +. step
+  done;
+  for i = 0 to n - 1 do
+    let x = position st (st.k_lo + i) in
+    let service =
+      Array.fold_left (fun acc r -> acc +. Float.abs (x -. r.(0))) 0.0 requests
+    in
+    v.(i) <- v.(i) +. service
+  done
+
+let algorithm =
+  {
+    Mobile_server.Algorithm.name = "work-function";
+    make =
+      (fun ?rng:_ (config : Config.t) ~start ->
+        if Vec.dim start <> 1 then
+          invalid_arg "Work_function: 1-D instances only";
+        let pitch = config.Config.move_limit /. 16.0 in
+        let st =
+          {
+            pitch;
+            anchor = start.(0);
+            k_lo = 0;
+            k_hi = 0;
+            values = [| 0.0 |];
+          }
+        in
+        let d_factor = config.Config.d_factor in
+        let pos = ref (Vec.copy start) in
+        let limit = Config.online_limit config in
+        fun requests ->
+          if Array.length requests > 0 then begin
+            (* Make sure the grid covers all requests. *)
+            let lo = ref (position st st.k_lo)
+            and hi = ref (position st st.k_hi) in
+            Array.iter
+              (fun r ->
+                if r.(0) < !lo then lo := r.(0);
+                if r.(0) > !hi then hi := r.(0))
+              requests;
+            let k_lo' =
+              Stdlib.min st.k_lo
+                (int_of_float (Float.floor ((!lo -. st.anchor) /. pitch)))
+            in
+            let k_hi' =
+              Stdlib.max st.k_hi
+                (int_of_float (Float.ceil ((!hi -. st.anchor) /. pitch)))
+            in
+            grow st ~d_factor ~k_lo' ~k_hi';
+            update st ~d_factor requests;
+            (* Head for argmin_x W_t(x) + D·|P − x|. *)
+            let best_k = ref st.k_lo and best = ref infinity in
+            for k = st.k_lo to st.k_hi do
+              let score =
+                value st k +. (d_factor *. Float.abs (position st k -. !pos.(0)))
+              in
+              if score < !best then begin
+                best := score;
+                best_k := k
+              end
+            done;
+            let target = [| position st !best_k |] in
+            pos := Vec.clamp_step ~from:!pos limit target
+          end;
+          !pos);
+  }

@@ -1,0 +1,20 @@
+(** Work-function algorithm on the line.
+
+    Maintains the classical page-migration work function over a 1-D
+    grid: [W_t(x)] is the cheapest cost of any (movement-uncapped)
+    offline schedule that serves the first [t] rounds and ends at [x].
+    Each round the server moves — within its own capped budget — toward
+    the point minimizing [W_t(x) + D·d(P, x)].
+
+    Two deliberate simplifications, both documented in DESIGN.md: the
+    work function drops the offline per-round cap (the uncapped function
+    is a lower bound and admits an O(G) distance-transform update), and
+    positions are restricted to a grid of pitch [m/16] spanning the
+    requests seen so far (the grid grows dynamically).  The point of
+    this baseline is to measure whether the heavyweight machinery beats
+    MtC's two-line rule — spoiler from the T1 table: not by much. *)
+
+val algorithm : Mobile_server.Algorithm.t
+(** The "work-function" algorithm; 1-D instances only.  The stepper
+    raises [Invalid_argument] when run on a start position of dimension
+    other than 1. *)

@@ -1,0 +1,46 @@
+module Vec = Geometry.Vec
+
+type breakdown = { move : float; service : float }
+
+let total b = b.move +. b.service
+
+let zero = { move = 0.0; service = 0.0 }
+
+let add a b = { move = a.move +. b.move; service = a.service +. b.service }
+
+let service_cost p vs =
+  Array.fold_left (fun acc v -> acc +. Vec.dist p v) 0.0 vs
+
+let step (config : Config.t) ~from ~to_ vs =
+  let move = config.d_factor *. Vec.dist from to_ in
+  let service =
+    match config.variant with
+    | Variant.Move_first -> service_cost to_ vs
+    | Variant.Serve_first -> service_cost from vs
+  in
+  { move; service }
+
+let trajectory config ~start positions inst =
+  let t_len = Instance.length inst in
+  if Array.length positions <> t_len then
+    invalid_arg
+      (Printf.sprintf "Cost.trajectory: %d positions for %d rounds"
+         (Array.length positions) t_len);
+  let acc = ref zero in
+  let prev = ref start in
+  for t = 0 to t_len - 1 do
+    acc := add !acc (step config ~from:!prev ~to_:positions.(t) inst.steps.(t));
+    prev := positions.(t)
+  done;
+  !acc
+
+let feasible ?(tol = 1e-9) ~limit ~start positions =
+  let slack = limit +. (tol *. Float.max 1.0 limit) in
+  let ok = ref true in
+  let prev = ref start in
+  Array.iter
+    (fun p ->
+      if Vec.dist !prev p > slack then ok := false;
+      prev := p)
+    positions;
+  !ok

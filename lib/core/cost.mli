@@ -1,0 +1,48 @@
+(** Cost accounting for one round and for whole trajectories.
+
+    Implements the paper's objective (Section 2): a round in which the
+    server moves from [p] to [p'] while requests [vs] are active costs
+
+    - Move-first:  [D·d(p, p') + Σ_i d(p', v_i)]
+    - Serve-first: [Σ_i d(p, v_i) + D·d(p, p')]
+
+    Both the online algorithm and the offline optimum are charged by the
+    same functions; only their movement budgets differ. *)
+
+type breakdown = {
+  move : float;  (** Total movement cost [D · distance moved]. *)
+  service : float;  (** Total request-serving cost. *)
+}
+
+val total : breakdown -> float
+(** [total b] is [b.move +. b.service]. *)
+
+val zero : breakdown
+
+val add : breakdown -> breakdown -> breakdown
+
+val service_cost : Geometry.Vec.t -> Geometry.Vec.t array -> float
+(** [service_cost p vs] is [Σ_i d(p, v_i)]. *)
+
+val step :
+  Config.t -> from:Geometry.Vec.t -> to_:Geometry.Vec.t ->
+  Geometry.Vec.t array -> breakdown
+(** [step config ~from ~to_ vs] is the cost of one round under
+    [config.variant]. *)
+
+val trajectory :
+  Config.t -> start:Geometry.Vec.t -> Geometry.Vec.t array ->
+  Instance.t -> breakdown
+(** [trajectory config ~start positions inst] prices a full server
+    trajectory against an instance: [positions.(t)] is the server's
+    position at the end of round [t], with [start] the position before
+    round 0.  [positions] must have length [Instance.length inst] and
+    matching dimension.  No movement-limit check is performed here — use
+    {!feasible} for that. *)
+
+val feasible :
+  ?tol:float -> limit:float -> start:Geometry.Vec.t ->
+  Geometry.Vec.t array -> bool
+(** [feasible ~limit ~start positions] checks that every consecutive
+    move (including [start] to [positions.(0)]) is at most [limit],
+    within relative tolerance [tol] (default 1e-9). *)

@@ -1,0 +1,86 @@
+module Vec = Geometry.Vec
+
+type step_record = { round : int; position : Vec.t; cost : Cost.breakdown }
+
+type run = {
+  algorithm : string;
+  config : Config.t;
+  positions : Vec.t array;
+  cost : Cost.breakdown;
+}
+
+let iter ?rng config (alg : Algorithm.t) (inst : Instance.t) f =
+  let stepper = alg.make ?rng config ~start:inst.start in
+  let limit = Config.online_limit config in
+  let pos = ref inst.start in
+  Array.iteri
+    (fun round requests ->
+      let proposed = stepper requests in
+      let next = Vec.clamp_step ~from:!pos limit proposed in
+      let cost = Cost.step config ~from:!pos ~to_:next requests in
+      pos := next;
+      f { round; position = next; cost })
+    inst.steps
+
+let run ?rng config alg inst =
+  let t_len = Instance.length inst in
+  let positions = Array.make t_len inst.start in
+  let total = ref Cost.zero in
+  iter ?rng config alg inst (fun { round; position; cost } ->
+      positions.(round) <- position;
+      total := Cost.add !total cost);
+  { algorithm = alg.name; config; positions; cost = !total }
+
+let total_cost ?rng config alg inst =
+  let total = ref Cost.zero in
+  iter ?rng config alg inst (fun { cost; _ } -> total := Cost.add !total cost);
+  Cost.total !total
+
+module Session = struct
+  type t = {
+    stepper : Algorithm.stepper;
+    limit : float;
+    config : Config.t;
+    dim : int;
+    mutable position : Vec.t;
+    mutable rounds : int;
+    mutable cost : Cost.breakdown;
+  }
+
+  let create ?rng config (alg : Algorithm.t) ~start =
+    {
+      stepper = alg.Algorithm.make ?rng config ~start;
+      limit = Config.online_limit config;
+      config;
+      dim = Vec.dim start;
+      position = Vec.copy start;
+      rounds = 0;
+      cost = Cost.zero;
+    }
+
+  let step session requests =
+    Array.iter
+      (fun v ->
+        if Vec.dim v <> session.dim then
+          invalid_arg "Engine.Session.step: request dimension mismatch")
+      requests;
+    let proposed = session.stepper requests in
+    let next = Vec.clamp_step ~from:session.position session.limit proposed in
+    let cost = Cost.step session.config ~from:session.position ~to_:next requests in
+    session.position <- next;
+    session.cost <- Cost.add session.cost cost;
+    let record = { round = session.rounds; position = next; cost } in
+    session.rounds <- session.rounds + 1;
+    record
+
+  let position session = Vec.copy session.position
+
+  let rounds session = session.rounds
+
+  let cost session = session.cost
+end
+
+let replay config ~start positions inst =
+  if not (Cost.feasible ~limit:(Config.offline_limit config) ~start positions)
+  then invalid_arg "Engine.replay: trajectory exceeds the offline budget m";
+  Cost.trajectory config ~start positions inst

@@ -1,0 +1,75 @@
+(** Simulation engine: replay an instance through an online algorithm.
+
+    The engine owns feasibility: whatever position the algorithm
+    answers is clamped to the online budget [(1+δ)·m] before costs are
+    charged, so every reported run is a legal trajectory.  (Well-behaved
+    algorithms such as {!Mtc} are never actually clamped; the clamp is a
+    safety net for experimental strategies.) *)
+
+type step_record = {
+  round : int;  (** 0-based round index. *)
+  position : Geometry.Vec.t;  (** Server position after the round. *)
+  cost : Cost.breakdown;  (** This round's cost. *)
+}
+
+type run = {
+  algorithm : string;
+  config : Config.t;
+  positions : Geometry.Vec.t array;
+      (** Position after each round; length [T]. *)
+  cost : Cost.breakdown;  (** Total cost over the run. *)
+}
+
+val run :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.t -> run
+(** [run config alg inst] plays [alg] over [inst] and returns the full
+    trajectory and total cost. *)
+
+val total_cost :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.t -> float
+(** [total_cost config alg inst] is [Cost.total (run ...).cost] without
+    retaining the trajectory. *)
+
+val replay :
+  Config.t -> start:Geometry.Vec.t -> Geometry.Vec.t array -> Instance.t ->
+  Cost.breakdown
+(** [replay config ~start positions inst] prices a precomputed
+    trajectory (for example an offline optimum); checks it against the
+    {e offline} budget [m] and raises [Invalid_argument] if it moves too
+    far in some round. *)
+
+val iter :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.t ->
+  (step_record -> unit) -> unit
+(** [iter config alg inst f] streams per-round records to [f] without
+    building the trajectory array — used by the potential-function
+    checker and by long-horizon experiments. *)
+
+(** Incremental sessions — for embedding the library in a live system
+    where rounds arrive one at a time and no {!Instance} exists up
+    front.  A session owns the server position and the running cost;
+    each {!Session.step} consumes one round of requests, moves the
+    server (clamped to the online budget) and returns the round's
+    record.  [Engine.run] is equivalent to replaying an instance through
+    a session, which the test suite checks. *)
+module Session : sig
+  type t
+
+  val create :
+    ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t ->
+    start:Geometry.Vec.t -> t
+  (** Open a session with the server at [start]. *)
+
+  val step : t -> Geometry.Vec.t array -> step_record
+  (** Feed one round of requests; returns the post-round record.
+      Requests must match the session's dimension. *)
+
+  val position : t -> Geometry.Vec.t
+  (** Current server position. *)
+
+  val rounds : t -> int
+  (** Rounds played so far. *)
+
+  val cost : t -> Cost.breakdown
+  (** Total cost so far. *)
+end

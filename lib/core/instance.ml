@@ -1,0 +1,90 @@
+module Vec = Geometry.Vec
+
+type t = { start : Vec.t; steps : Vec.t array array }
+
+let make ~start steps =
+  let d = Vec.dim start in
+  Array.iteri
+    (fun t round ->
+      Array.iter
+        (fun v ->
+          if Vec.dim v <> d then
+            invalid_arg
+              (Printf.sprintf
+                 "Instance.make: request in round %d has dimension %d, \
+                  expected %d" t (Vec.dim v) d))
+        round)
+    steps;
+  {
+    start = Vec.copy start;
+    steps = Array.map (fun round -> Array.map Vec.copy round) steps;
+  }
+
+let dim inst = Vec.dim inst.start
+
+let length inst = Array.length inst.steps
+
+let total_requests inst =
+  Array.fold_left (fun acc round -> acc + Array.length round) 0 inst.steps
+
+let request_bounds inst =
+  if Array.length inst.steps = 0 then (0, 0)
+  else
+    Array.fold_left
+      (fun (lo, hi) round ->
+        let r = Array.length round in
+        (Stdlib.min lo r, Stdlib.max hi r))
+      (max_int, 0) inst.steps
+
+let round_centroid round =
+  if Array.length round = 0 then None else Some (Vec.centroid round)
+
+let max_step inst =
+  let best = ref 0.0 in
+  let prev = ref (Some inst.start) in
+  Array.iter
+    (fun round ->
+      match round_centroid round with
+      | None -> ()
+      | Some c ->
+        (match !prev with
+         | Some p -> best := Float.max !best (Vec.dist p c)
+         | None -> ());
+        prev := Some c)
+    inst.steps;
+  !best
+
+let single_trajectory inst =
+  if Array.for_all (fun round -> Array.length round = 1) inst.steps then
+    Some (Array.map (fun round -> round.(0)) inst.steps)
+  else None
+
+let is_moving_client ~speed inst =
+  match single_trajectory inst with
+  | None -> false
+  | Some agent ->
+    let tol = 1e-9 *. Float.max 1.0 speed in
+    let ok = ref true in
+    let prev = ref inst.start in
+    Array.iter
+      (fun a ->
+        if Vec.dist !prev a > speed +. tol then ok := false;
+        prev := a)
+      agent;
+    !ok
+
+let append inst round =
+  make ~start:inst.start (Array.append inst.steps [| round |])
+
+let concat_rounds a b =
+  if dim a <> dim b then invalid_arg "Instance.concat_rounds: dimension mismatch";
+  make ~start:a.start (Array.append a.steps b.steps)
+
+let map_requests f inst =
+  make ~start:(f inst.start)
+    (Array.map (fun round -> Array.map f round) inst.steps)
+
+let pp ppf inst =
+  let lo, hi = request_bounds inst in
+  Format.fprintf ppf "instance{dim=%d; T=%d; requests=%d; R∈[%d,%d]}"
+    (dim inst) (length inst) (total_requests inst) lo hi

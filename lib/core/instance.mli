@@ -1,0 +1,61 @@
+(** Problem instances: a start position plus the request sequence.
+
+    An instance is the input an online algorithm consumes round by
+    round: at step [t] (0-based) the positions [steps.(t)] light up,
+    the server reacts, costs accrue per the {!Variant}.  The instance
+    does not carry the model constants — those live in {!Config} — so
+    one request sequence can be replayed under many parameter
+    settings. *)
+
+type t = private {
+  start : Geometry.Vec.t;  (** [P_0], also the initial optimum position. *)
+  steps : Geometry.Vec.t array array;
+      (** [steps.(t)] are the request positions of round [t+1]; rounds
+          may be empty (no requests). *)
+}
+
+val make : start:Geometry.Vec.t -> Geometry.Vec.t array array -> t
+(** [make ~start steps] validates that every request has the dimension
+    of [start] and builds the instance.  The arrays are copied, so later
+    mutation of the caller's arrays cannot corrupt the instance. *)
+
+val dim : t -> int
+(** Space dimension. *)
+
+val length : t -> int
+(** Number of rounds [T]. *)
+
+val total_requests : t -> int
+(** Sum of requests over all rounds. *)
+
+val request_bounds : t -> int * int
+(** [(Rmin, Rmax)] over rounds — the quantities in Theorems 2 and 4.
+    [(0, 0)] for an empty instance. *)
+
+val max_step : t -> float
+(** Largest distance between consecutive request centroids; a cheap
+    summary used by workload diagnostics (not a model quantity). *)
+
+val single_trajectory : t -> Geometry.Vec.t array option
+(** If every round has exactly one request (the Moving Client shape),
+    the agent positions [A_1 .. A_T]; otherwise [None]. *)
+
+val is_moving_client : speed:float -> t -> bool
+(** [is_moving_client ~speed inst] checks the Moving Client model's
+    input constraint: one request per round, each within [speed] of the
+    previous one ([A_0 = start]), up to a 1e-9 relative tolerance. *)
+
+val append : t -> Geometry.Vec.t array -> t
+(** [append inst round] extends the sequence by one round. *)
+
+val concat_rounds : t -> t -> t
+(** [concat_rounds a b] replays [a]'s rounds then [b]'s rounds,
+    starting from [a.start].  [b.start] is ignored; dimensions must
+    match. *)
+
+val map_requests : (Geometry.Vec.t -> Geometry.Vec.t) -> t -> t
+(** [map_requests f inst] applies a pointwise transform (for example an
+    isometry) to every request and the start. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a compact summary (dimension, rounds, request counts). *)

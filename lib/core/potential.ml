@@ -1,0 +1,76 @@
+module Vec = Geometry.Vec
+
+let phi (config : Config.t) ~r ~opt ~alg =
+  if config.delta <= 0.0 then
+    invalid_arg "Potential.phi: requires delta > 0";
+  if r < 1 then invalid_arg "Potential.phi: r must be >= 1";
+  let rf = float_of_int r in
+  let d = config.d_factor and m = config.move_limit and delta = config.delta in
+  let p = Vec.dist opt alg in
+  let threshold = delta *. d *. m /. (4.0 *. rf) in
+  (* The r <= D regime doubles both branches (Section 4.2). *)
+  let factor = if rf > d then 1.0 else 2.0 in
+  if p > threshold then factor *. 8.0 *. rf /. (delta *. m) *. p *. p
+  else factor *. 2.0 *. d *. p
+
+type report = {
+  rounds : int;
+  min_constant : float;
+  zero_opt_rounds : int;
+  max_zero_opt_excess : float;
+  final_potential : float;
+}
+
+let phi_moving_client (config : Config.t) ~opt ~alg =
+  Float.pow 2.0 1.5 *. config.d_factor *. Vec.dist opt alg
+
+(* Shared walker for both potentials. *)
+let check_with ~phi config (inst : Instance.t) ~alg_positions ~opt_positions =
+  let t_len = Instance.length inst in
+  if Array.length alg_positions <> t_len || Array.length opt_positions <> t_len
+  then invalid_arg "Potential.check: trajectory length mismatch";
+  let eps = 1e-12 in
+  let min_constant = ref 0.0 in
+  let zero_opt_rounds = ref 0 in
+  let max_zero_opt_excess = ref neg_infinity in
+  let alg_prev = ref inst.start and opt_prev = ref inst.start in
+  let phi_prev = ref (phi ~opt:!opt_prev ~alg:!alg_prev) in
+  for t = 0 to t_len - 1 do
+    let requests = inst.steps.(t) in
+    let alg_next = alg_positions.(t) and opt_next = opt_positions.(t) in
+    let c_alg = Cost.total (Cost.step config ~from:!alg_prev ~to_:alg_next requests) in
+    let c_opt = Cost.total (Cost.step config ~from:!opt_prev ~to_:opt_next requests) in
+    let phi_next = phi ~opt:opt_next ~alg:alg_next in
+    let lhs = c_alg +. phi_next -. !phi_prev in
+    if c_opt > eps then begin
+      let k = lhs /. c_opt in
+      if k > !min_constant then min_constant := k
+    end else begin
+      incr zero_opt_rounds;
+      if lhs > !max_zero_opt_excess then max_zero_opt_excess := lhs
+    end;
+    alg_prev := alg_next;
+    opt_prev := opt_next;
+    phi_prev := phi_next
+  done;
+  {
+    rounds = t_len;
+    min_constant = !min_constant;
+    zero_opt_rounds = !zero_opt_rounds;
+    max_zero_opt_excess =
+      (if !zero_opt_rounds = 0 then 0.0 else !max_zero_opt_excess);
+    final_potential = !phi_prev;
+  }
+
+let check_moving_client config inst ~alg_positions ~opt_positions =
+  if Instance.single_trajectory inst = None then
+    invalid_arg
+      "Potential.check_moving_client: instance is not a moving-client input";
+  check_with
+    ~phi:(fun ~opt ~alg -> phi_moving_client config ~opt ~alg)
+    config inst ~alg_positions ~opt_positions
+
+let check config ~r inst ~alg_positions ~opt_positions =
+  check_with
+    ~phi:(fun ~opt ~alg -> phi config ~r ~opt ~alg)
+    config inst ~alg_positions ~opt_positions

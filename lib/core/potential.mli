@@ -1,0 +1,65 @@
+(** The potential functions of the paper's analysis (Sections 4.1–4.2)
+    and an empirical per-step invariant checker.
+
+    Theorem 4 is proved by exhibiting, for each of the regimes [r > D]
+    and [r <= D], a potential [φ(P_Opt, P_Alg)] of the two server
+    positions such that every round satisfies
+
+    [C_Alg + Δφ <= K · C_Opt]
+
+    for a constant [K = O(1/δ^{3/2})] (plane) or [O(1/δ)] (line).
+    Summing over rounds and telescoping [φ] (which is non-negative and
+    initially 0) yields the competitive ratio.
+
+    The checker replays an online and an offline trajectory side by side
+    and measures the smallest [K] that would make every round satisfy
+    the inequality — an executable verification of the proof's figures
+    (the paper's Figures 1–2 illustrate exactly this geometry). *)
+
+val phi : Config.t -> r:int -> opt:Geometry.Vec.t -> alg:Geometry.Vec.t -> float
+(** [phi config ~r ~opt ~alg] is the paper's potential for request
+    count [r] per round: with [p = d(opt, alg)] and threshold
+    [θ = δ·D·m/(4r)],
+
+    - regime [r > D]:  [8·(r/(δm))·p²] if [p > θ], else [2·D·p];
+    - regime [r <= D]: doubled — [16·(r/(δm))·p²] if [p > θ], else
+      [4·D·p].
+
+    Requires [config.delta > 0] and [r >= 1]. *)
+
+type report = {
+  rounds : int;  (** Rounds compared. *)
+  min_constant : float;
+      (** Smallest [K] with [C_Alg + Δφ <= K·C_Opt] on every round with
+          positive optimal cost. *)
+  zero_opt_rounds : int;
+      (** Rounds where the optimum paid (numerically) nothing. *)
+  max_zero_opt_excess : float;
+      (** Largest [C_Alg + Δφ] over those rounds — the invariant wants
+          this non-positive (up to numerical noise). *)
+  final_potential : float;  (** [φ] after the last round (>= 0). *)
+}
+
+val check :
+  Config.t -> r:int -> Instance.t ->
+  alg_positions:Geometry.Vec.t array ->
+  opt_positions:Geometry.Vec.t array -> report
+(** [check config ~r inst ~alg_positions ~opt_positions] walks both
+    trajectories (each of length [Instance.length inst], both starting
+    at [inst.start]) and reports the empirical per-round constants.
+    Raises [Invalid_argument] on length mismatch or [config.delta = 0]. *)
+
+val phi_moving_client :
+  Config.t -> opt:Geometry.Vec.t -> alg:Geometry.Vec.t -> float
+(** The Theorem 10 potential: [φ = 2^{3/2}·D·d(opt, alg)].  Unlike
+    {!phi} it needs no augmentation ([delta] may be 0) — the theorem's
+    O(1) ratio for a slow moving client holds without it. *)
+
+val check_moving_client :
+  Config.t -> Instance.t ->
+  alg_positions:Geometry.Vec.t array ->
+  opt_positions:Geometry.Vec.t array -> report
+(** Per-round invariant check with {!phi_moving_client}; the proof of
+    Theorem 10 bounds the per-round constant by 36.  Requires a
+    single-request instance ([Instance.single_trajectory] must be
+    [Some _]). *)

@@ -1,0 +1,205 @@
+module Vec = Geometry.Vec
+
+let header_instance = "# mobile-server-instance v1"
+let header_trajectory = "# mobile-server-trajectory v1"
+
+let coords v =
+  String.concat " "
+    (Array.to_list (Array.map (fun c -> Printf.sprintf "%.17g" c) v))
+
+let instance_to_string (inst : Instance.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header_instance;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "dim %d\n" (Instance.dim inst));
+  Buffer.add_string buf (Printf.sprintf "rounds %d\n" (Instance.length inst));
+  Buffer.add_string buf (Printf.sprintf "start %s\n" (coords inst.Instance.start));
+  Array.iteri
+    (fun t round ->
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "req %d %s\n" t (coords v)))
+        round)
+    inst.Instance.steps;
+  Buffer.contents buf
+
+let trajectory_to_string ~start positions =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header_trajectory;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "dim %d\n" (Vec.dim start));
+  Buffer.add_string buf
+    (Printf.sprintf "rounds %d\n" (Array.length positions));
+  Buffer.add_string buf (Printf.sprintf "start %s\n" (coords start));
+  Array.iteri
+    (fun t p -> Buffer.add_string buf (Printf.sprintf "pos %d %s\n" t (coords p)))
+    positions;
+  Buffer.contents buf
+
+(* --- Parsing -------------------------------------------------------- *)
+
+type parser_state = {
+  mutable dim : int option;
+  mutable rounds : int option;
+  mutable start : Vec.t option;
+}
+
+let fail_line n msg = Error (Printf.sprintf "line %d: %s" n msg)
+
+let parse_floats n parts =
+  try Ok (Array.of_list (List.map float_of_string parts))
+  with Failure _ -> fail_line n "malformed number"
+
+let parse ~header ~on_point text =
+  let lines = String.split_on_char '\n' text in
+  let st = { dim = None; rounds = None; start = None } in
+  let rec step n lines =
+    match lines with
+    | [] -> Ok ()
+    | line :: rest ->
+      let line = String.trim line in
+      let continue = function
+        | Ok () -> step (n + 1) rest
+        | Error _ as e -> e
+      in
+      if line = "" || (String.length line > 0 && line.[0] = '#' && n > 1)
+      then step (n + 1) rest
+      else if n = 1 then
+        if line = header then step (n + 1) rest
+        else fail_line n (Printf.sprintf "expected header %S" header)
+      else begin
+        match String.split_on_char ' ' line
+              |> List.filter (fun s -> s <> "")
+        with
+        | [ "dim"; d ] ->
+          continue
+            (match int_of_string_opt d with
+             | Some d when d >= 1 ->
+               st.dim <- Some d;
+               Ok ()
+             | Some _ | None -> fail_line n "bad dimension")
+        | [ "rounds"; r ] ->
+          continue
+            (match int_of_string_opt r with
+             | Some r when r >= 0 ->
+               st.rounds <- Some r;
+               Ok ()
+             | Some _ | None -> fail_line n "bad round count")
+        | "start" :: parts ->
+          continue
+            (Result.bind (parse_floats n parts) (fun v ->
+                 match st.dim with
+                 | Some d when Array.length v <> d ->
+                   fail_line n "start has wrong dimension"
+                 | Some _ | None ->
+                   st.start <- Some v;
+                   Ok ()))
+        | kind :: t :: parts ->
+          continue
+            (match int_of_string_opt t with
+             | None -> fail_line n "bad round index"
+             | Some t ->
+               Result.bind (parse_floats n parts) (fun v ->
+                   match st.dim, st.rounds with
+                   | Some d, _ when Array.length v <> d ->
+                     fail_line n "point has wrong dimension"
+                   | _, Some r when t < 0 || t >= r ->
+                     fail_line n "round index out of range"
+                   | _ -> on_point ~line:n ~kind ~round:t v))
+        | _ -> fail_line n (Printf.sprintf "unrecognized directive %S" line)
+      end
+  in
+  Result.bind (step 1 lines) (fun () ->
+      match st.dim, st.rounds, st.start with
+      | Some dim, Some rounds, Some start -> Ok (dim, rounds, start)
+      | None, _, _ -> Error "missing 'dim' directive"
+      | _, None, _ -> Error "missing 'rounds' directive"
+      | _, _, None -> Error "missing 'start' directive")
+
+let instance_of_string text =
+  let requests : (int * Vec.t) list ref = ref [] in
+  let on_point ~line ~kind ~round v =
+    if kind = "req" then begin
+      requests := (round, v) :: !requests;
+      Ok ()
+    end
+    else fail_line line (Printf.sprintf "unexpected directive %S" kind)
+  in
+  Result.bind (parse ~header:header_instance ~on_point text)
+    (fun (_dim, rounds, start) ->
+      (* [!requests] is in reverse file order; prepending while folding
+         restores file order per round. *)
+      let buckets = Array.make rounds [] in
+      List.iter (fun (t, v) -> buckets.(t) <- v :: buckets.(t)) !requests;
+      let steps = Array.map Array.of_list buckets in
+      try Ok (Instance.make ~start steps)
+      with Invalid_argument msg -> Error msg)
+
+let trajectory_of_string text =
+  let points : (int * Vec.t) list ref = ref [] in
+  let on_point ~line ~kind ~round v =
+    if kind = "pos" then begin
+      points := (round, v) :: !points;
+      Ok ()
+    end
+    else fail_line line (Printf.sprintf "unexpected directive %S" kind)
+  in
+  Result.bind (parse ~header:header_trajectory ~on_point text)
+    (fun (dim, rounds, start) ->
+      let positions = Array.make rounds None in
+      List.iter (fun (t, v) -> positions.(t) <- Some v) !points;
+      let missing = ref None in
+      let out =
+        Array.mapi
+          (fun t p ->
+            match p with
+            | Some v -> v
+            | None ->
+              if !missing = None then missing := Some t;
+              Vec.zero dim)
+          positions
+      in
+      match !missing with
+      | Some t -> Error (Printf.sprintf "round %d has no position" t)
+      | None -> Ok (start, out))
+
+let instance_to_file path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (instance_to_string inst))
+
+let instance_of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        instance_of_string (really_input_string ic len))
+
+let run_to_csv (run : Engine.run) (inst : Instance.t) =
+  if Array.length run.Engine.positions <> Instance.length inst then
+    invalid_arg "Serialize.run_to_csv: run does not match instance";
+  let dim = Instance.dim inst in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "round,requests,move_cost,service_cost";
+  for c = 1 to dim do
+    Buffer.add_string buf (Printf.sprintf ",x%d" c)
+  done;
+  Buffer.add_char buf '\n';
+  let prev = ref inst.Instance.start in
+  Array.iteri
+    (fun t p ->
+      let round_cost =
+        Cost.step run.Engine.config ~from:!prev ~to_:p inst.Instance.steps.(t)
+      in
+      prev := p;
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.6g,%.6g" t
+           (Array.length inst.Instance.steps.(t))
+           round_cost.Cost.move round_cost.Cost.service);
+      Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf ",%.6g" c)) p;
+      Buffer.add_char buf '\n')
+    run.Engine.positions;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Plain-text serialization of instances and trajectories.
+
+    A line-oriented format, stable across versions and diff-friendly, so
+    instances can be archived, shared, and replayed:
+
+    {v
+    # mobile-server-instance v1
+    dim 2
+    rounds 3
+    start 0 0
+    req 0 1.5 2
+    req 0 -1 0.25
+    req 2 4 4
+    v}
+
+    [req t x1 .. xd] places one request in round [t] (0-based); rounds
+    not mentioned are empty.  Trajectories use the same header with
+    [pos t x1 .. xd] lines, exactly one per round.
+
+    Parsing is strict: unknown directives, wrong dimension counts and
+    out-of-range round indices are reported with their line number. *)
+
+val instance_to_string : Instance.t -> string
+(** Serialize an instance. *)
+
+val instance_of_string : string -> (Instance.t, string) result
+(** Parse an instance; [Error msg] pinpoints the offending line. *)
+
+val instance_to_file : string -> Instance.t -> unit
+(** [instance_to_file path inst] writes the serialization to [path]. *)
+
+val instance_of_file : string -> (Instance.t, string) result
+(** Read and parse; I/O errors are reported as [Error]. *)
+
+val trajectory_to_string : start:Geometry.Vec.t -> Geometry.Vec.t array -> string
+(** Serialize a trajectory (for example an {!Engine.run} result or an
+    offline optimum). *)
+
+val trajectory_of_string :
+  string -> (Geometry.Vec.t * Geometry.Vec.t array, string) result
+(** Parse a trajectory back into [(start, positions)]. *)
+
+val run_to_csv : Engine.run -> Instance.t -> string
+(** [run_to_csv run inst] is a per-round CSV with columns
+    [round, requests, move_cost, service_cost, x1..xd] — convenient for
+    plotting a run with external tools.  The run must come from [inst]
+    (lengths are checked). *)

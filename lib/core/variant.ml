@@ -1,0 +1,20 @@
+type t = Move_first | Serve_first
+
+let equal a b =
+  match a, b with
+  | Move_first, Move_first | Serve_first, Serve_first -> true
+  | Move_first, Serve_first | Serve_first, Move_first -> false
+
+let to_string = function
+  | Move_first -> "move-first"
+  | Serve_first -> "serve-first"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "move-first" | "standard" -> Some Move_first
+  | "serve-first" | "answer-first" -> Some Serve_first
+  | _ -> None
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let all = [ Move_first; Serve_first ]

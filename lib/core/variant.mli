@@ -1,0 +1,30 @@
+(** The two cost-accounting variants of the Mobile Server Problem.
+
+    In both variants the algorithm sees the current round's requests
+    before choosing where to move; the variants differ in {e where the
+    requests are charged}:
+
+    - {!Move_first} (the paper's main model, Section 2): the server
+      moves from [P_t] to [P_{t+1}], then every request [v] is served at
+      cost [d(P_{t+1}, v)].  The Moving Client model (Section 5) uses
+      the same accounting with a single request per round.
+    - {!Serve_first} (the "Answer-First" variant): requests are served
+      from the old position at cost [d(P_t, v)], then the server moves.
+      Theorem 3 shows this small change forces a competitive ratio of
+      [Ω(r/D)]. *)
+
+type t = Move_first | Serve_first
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["move-first"] or ["serve-first"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; also accepts the paper's names
+    ["standard"] and ["answer-first"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Both variants, for exhaustive sweeps. *)

@@ -1,0 +1,55 @@
+(** The experiment catalog — one entry per reproduced result.
+
+    The paper is theoretical, so its "tables and figures" are theorems;
+    each catalog entry realizes one of them as a measurement (see
+    DESIGN.md §4 for the index):
+
+    - [e1]  Theorem 1   — unaugmented lower bound [Ω(√(T/D))]
+    - [e2]  Theorem 2   — augmented lower bound [Ω((1/δ)·Rmax/Rmin)]
+    - [e3]  Theorem 3   — Answer-First lower bound [Ω(r/D)]
+    - [e4]  Theorem 4   — MtC upper bound on the line, [O(1/δ)]
+    - [e5]  Theorem 4   — MtC upper bound in the plane, [O(1/δ^{3/2})]
+    - [e6]  Theorem 7   — Answer-First MtC, [O((1/δ^{3/2})·r/D)]
+    - [e7]  Theorem 8   — fast moving client, [Ω(√T·ε/(1+ε))]
+    - [e8]  Theorem 10  — slow moving client, O(1) without augmentation
+    - [e9]  Lemmas 5–6 and the §4 potential argument (Figures 1–2)
+    - [e10] dimension sweep (the model is stated for arbitrary dimension)
+    - [t1]  synthesized algorithm-comparison table across workloads
+    - [a1]  ablation of MtC's design choices (center point, pull factor)
+    - [a2]  Lemma 5's request-collapsing reduction, measured
+    - [x1]  the k-server extension suggested by the paper's conclusion
+    - [b1]  background: classical graph Page Migration and the price of
+            the paper's movement cap
+
+    Every experiment is deterministic given [(seed, quick)]. *)
+
+type result = {
+  id : string;
+  title : string;
+  prediction : string;  (** The paper's claimed shape, verbatim-ish. *)
+  tables : (string * Tables.t) list;  (** Captioned result tables. *)
+  findings : string list;  (** Measured take-aways (fits, checks). *)
+}
+
+val ids : string list
+(** All experiment ids, in catalog order. *)
+
+val run : ?seed:int -> quick:bool -> string -> result
+(** [run ~quick id] executes one experiment.  [quick] shrinks horizons
+    and seed counts to something suitable for CI; the bench binary uses
+    [quick:false].  [seed] defaults to 42.  Raises [Invalid_argument]
+    for an unknown id. *)
+
+val run_all : ?seed:int -> quick:bool -> unit -> result list
+(** Every experiment, in catalog order. *)
+
+val print_result : result -> unit
+(** Pretty-print a result (tables + findings) to stdout. *)
+
+val result_to_markdown : result -> string
+(** One result as a Markdown section (heading, prediction, tables as
+    GitHub tables, findings as a bullet list). *)
+
+val report_markdown : ?title:string -> result list -> string
+(** A complete Markdown report: header, table of contents, one section
+    per result.  [title] defaults to a standard reproduction banner. *)

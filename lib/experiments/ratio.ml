@@ -1,0 +1,52 @@
+module Engine = Mobile_server.Engine
+
+type sample = { ratios : float array; mean : float; ci_lo : float; ci_hi : float }
+
+let summarize rng ratios =
+  if Array.length ratios = 0 then invalid_arg "Ratio.summarize: no samples";
+  if Array.length ratios = 1 then
+    { ratios; mean = ratios.(0); ci_lo = ratios.(0); ci_hi = ratios.(0) }
+  else begin
+    let ci = Stats.Bootstrap.mean_ci rng ratios in
+    { ratios; mean = ci.Stats.Bootstrap.point;
+      ci_lo = ci.Stats.Bootstrap.lo; ci_hi = ci.Stats.Bootstrap.hi }
+  end
+
+let cost_pair ?rng config alg inst ~opt =
+  if opt <= 0.0 then invalid_arg "Ratio.cost_pair: non-positive optimum";
+  Engine.total_cost ?rng config alg inst /. opt
+
+let replicated ~seeds ~base_seed ~name f =
+  if seeds < 1 then invalid_arg "Ratio: seeds < 1";
+  let base = Prng.Stream.named ~name ~seed:base_seed in
+  let ratios =
+    Array.init seeds (fun i ->
+        let rng = Prng.Stream.replicate base i in
+        f rng)
+  in
+  summarize (Prng.Stream.replicate base seeds) ratios
+
+let vs_construction ~seeds ~base_seed ~name config alg gen =
+  replicated ~seeds ~base_seed ~name (fun rng ->
+      let c = gen rng in
+      Adversary.Construction.ratio_sample ~rng config alg c)
+
+let vs_line_dp ?grid_per_m ~seeds ~base_seed ~name config alg gen =
+  replicated ~seeds ~base_seed ~name (fun rng ->
+      let inst = gen rng in
+      let opt = Offline.Line_dp.optimum ?grid_per_m config inst in
+      cost_pair ~rng config alg inst ~opt)
+
+let vs_convex ?max_iter ~seeds ~base_seed ~name config alg gen =
+  replicated ~seeds ~base_seed ~name (fun rng ->
+      let inst = gen rng in
+      let opt = Offline.Convex_opt.optimum ?max_iter config inst in
+      cost_pair ~rng config alg inst ~opt)
+
+let vs_construction_tight ?max_iter ~seeds ~base_seed ~name config alg gen =
+  replicated ~seeds ~base_seed ~name (fun rng ->
+      let c = gen rng in
+      let inst = c.Adversary.Construction.instance in
+      let via_trajectory = Adversary.Construction.adversary_cost config c in
+      let via_convex = Offline.Convex_opt.optimum ?max_iter config inst in
+      cost_pair ~rng config alg inst ~opt:(Float.min via_trajectory via_convex))

@@ -1,0 +1,46 @@
+type row = { x : float; sample : Ratio.sample; predicted : float }
+
+type t = { knob : string; rows : row list; fit : Stats.Regression.fit option }
+
+let run ~knob ~xs ~predicted f =
+  let rows =
+    List.map (fun x -> { x; sample = f x; predicted = predicted x }) xs
+  in
+  let points =
+    rows
+    |> List.filter (fun r -> r.x > 0.0 && r.sample.Ratio.mean > 0.0)
+    |> List.map (fun r -> (r.x, r.sample.Ratio.mean))
+    |> Array.of_list
+  in
+  let fit =
+    if Array.length points >= 2 then Some (Stats.Regression.log_log points)
+    else None
+  in
+  { knob; rows; fit }
+
+let to_table sweep =
+  let header =
+    [ sweep.knob; "mean ratio"; "ci lo"; "ci hi"; "seeds"; "paper shape" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Tables.cell r.x;
+          Tables.cell r.sample.Ratio.mean;
+          Tables.cell r.sample.Ratio.ci_lo;
+          Tables.cell r.sample.Ratio.ci_hi;
+          string_of_int (Array.length r.sample.Ratio.ratios);
+          Tables.cell r.predicted;
+        ])
+      sweep.rows
+  in
+  Tables.create ~header rows
+
+let slope_line sweep =
+  match sweep.fit with
+  | None -> Printf.sprintf "no exponent fit possible vs %s" sweep.knob
+  | Some fit ->
+    Printf.sprintf "fitted exponent vs %s: %.3f (R^2 = %.3f, %d points)"
+      sweep.knob fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+      fit.Stats.Regression.n

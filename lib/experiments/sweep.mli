@@ -1,0 +1,33 @@
+(** One-dimensional parameter sweeps with exponent fitting.
+
+    The experiments vary one knob (horizon [T], augmentation [δ],
+    request count [r], ...) and watch the mean competitive ratio; the
+    paper's predictions are power laws in that knob, recovered here by a
+    log–log fit over the sweep. *)
+
+type row = {
+  x : float;  (** The knob value. *)
+  sample : Ratio.sample;  (** Ratio statistics at this knob value. *)
+  predicted : float;  (** The paper's Θ/Ω expression at [x]. *)
+}
+
+type t = {
+  knob : string;  (** Column label for [x]. *)
+  rows : row list;
+  fit : Stats.Regression.fit option;
+      (** Log–log fit of mean ratio against [x]; [None] when the sweep
+          has fewer than two points or non-positive values. *)
+}
+
+val run :
+  knob:string -> xs:float list -> predicted:(float -> float) ->
+  (float -> Ratio.sample) -> t
+(** [run ~knob ~xs ~predicted f] evaluates [f] at every knob value. *)
+
+val to_table : t -> Tables.t
+(** Columns: knob, mean ratio, 95% CI, n, predicted shape. *)
+
+val slope_line : t -> string
+(** Human-readable summary of the fitted exponent, e.g.
+    ["fitted exponent vs T: 0.52 (R^2 = 0.99)"], or a note that no fit
+    was possible. *)

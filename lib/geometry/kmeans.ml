@@ -1,0 +1,102 @@
+type result = {
+  centers : Vec.t array;
+  assignment : int array;
+  inertia : float;
+  iterations : int;
+}
+
+let assign centers p =
+  if Array.length centers = 0 then invalid_arg "Kmeans.assign: no centers";
+  let best = ref 0 and best_d = ref (Vec.dist2 centers.(0) p) in
+  for i = 1 to Array.length centers - 1 do
+    let d = Vec.dist2 centers.(i) p in
+    if d < !best_d then begin
+      best := i;
+      best_d := d
+    end
+  done;
+  !best
+
+(* k-means++ seeding: each new center is drawn with probability
+   proportional to the squared distance to the nearest existing one. *)
+let seed_centers ~k rng points =
+  let n = Array.length points in
+  let centers = Array.make k points.(Prng.Xoshiro.next_below rng n) in
+  let d2 = Array.map (fun p -> Vec.dist2 centers.(0) p) points in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let next =
+      if total <= 0.0 then points.(Prng.Xoshiro.next_below rng n)
+      else begin
+        let target = Prng.Xoshiro.next_float rng *. total in
+        let acc = ref 0.0 and chosen = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i w ->
+               acc := !acc +. w;
+               if !acc >= target then begin
+                 chosen := i;
+                 raise Exit
+               end)
+             d2
+         with Exit -> ());
+        points.(!chosen)
+      end
+    in
+    centers.(c) <- next;
+    Array.iteri
+      (fun i p -> d2.(i) <- Float.min d2.(i) (Vec.dist2 next p))
+      points
+  done;
+  Array.map Vec.copy centers
+
+let cluster ?(max_iter = 64) ~k rng points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.cluster: no points";
+  if k < 1 then invalid_arg "Kmeans.cluster: k < 1";
+  let dim = Vec.dim points.(0) in
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> dim then invalid_arg "Kmeans.cluster: mixed dimensions")
+    points;
+  let k = Stdlib.min k n in
+  let centers = ref (seed_centers ~k rng points) in
+  let assignment = Array.make n 0 in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iter do
+    incr iterations;
+    changed := false;
+    Array.iteri
+      (fun i p ->
+        let c = assign !centers p in
+        if c <> assignment.(i) then begin
+          assignment.(i) <- c;
+          changed := true
+        end)
+      points;
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i p ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        for j = 0 to dim - 1 do
+          sums.(c).(j) <- sums.(c).(j) +. p.(j)
+        done)
+      points;
+    centers :=
+      Array.mapi
+        (fun c sum ->
+          if counts.(c) = 0 then (!centers).(c)
+          else Vec.scale (1.0 /. float_of_int counts.(c)) sum)
+        sums
+  done;
+  let inertia =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i p -> acc := !acc +. Vec.dist2 (!centers).(assignment.(i)) p)
+      points;
+    !acc
+  in
+  { centers = !centers; assignment; inertia; iterations = !iterations }

@@ -1,0 +1,26 @@
+(** Lloyd's k-means with k-means++ seeding.
+
+    Used by the multi-server extension (DESIGN.md §7): fleet algorithms
+    partition requests among servers, and the offline comparator places
+    a static fleet at the k-means centers of the whole request history.
+    Distances are Euclidean; centers are centroids (k-means proper, not
+    k-median — adequate for seeding and comparators). *)
+
+type result = {
+  centers : Vec.t array;  (** [k] cluster centers. *)
+  assignment : int array;  (** [assignment.(i)] is the center of point [i]. *)
+  inertia : float;  (** Sum of squared distances to assigned centers. *)
+  iterations : int;  (** Lloyd iterations until convergence. *)
+}
+
+val cluster :
+  ?max_iter:int -> k:int -> Prng.Xoshiro.t -> Vec.t array -> result
+(** [cluster ~k rng points] clusters a non-empty array of points of
+    equal dimension into at most [k] clusters ([k >= 1]; if there are
+    fewer distinct points than [k], duplicate centers are allowed).
+    [max_iter] defaults to 64.  Deterministic given the generator
+    state. *)
+
+val assign : Vec.t array -> Vec.t -> int
+(** [assign centers p] is the index of the center nearest to [p]
+    (lowest index wins ties).  [centers] must be non-empty. *)

@@ -1,0 +1,162 @@
+let cost c points =
+  Array.fold_left (fun acc p -> acc +. Vec.dist c p) 0.0 points
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let median_1d ?(tie_break = 0.0) xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Median.median_1d: empty array";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  if n mod 2 = 1 then sorted.(n / 2)
+  else
+    (* Every point of [lower, upper] is optimal; pick the one nearest to
+       the tie-break position. *)
+    let lower = sorted.((n / 2) - 1) and upper = sorted.(n / 2) in
+    clamp lower upper tie_break
+
+(* All points within [eps] of the line through [origin] with unit
+   direction [dir]? *)
+let collinear_along ~origin ~dir ~eps points =
+  Array.for_all
+    (fun p ->
+      let d = Vec.sub p origin in
+      let along = Vec.dot d dir in
+      let off = Vec.sub d (Vec.scale along dir) in
+      Vec.norm off <= eps)
+    points
+
+(* Orthogonal projection of [p] onto the segment [a, b]. *)
+let project_segment a b p =
+  let ab = Vec.sub b a in
+  let len2 = Vec.norm2 ab in
+  if len2 < 1e-300 then Vec.copy a
+  else
+    let s = clamp 0.0 1.0 (Vec.dot (Vec.sub p a) ab /. len2) in
+    Vec.lerp a b s
+
+(* Median of exactly collinear points: reduce to 1-D coordinates along
+   the line, tie-break by the projected tie-break coordinate. *)
+let collinear_median ~origin ~dir ~tie_break points =
+  let coords = Array.map (fun p -> Vec.dot (Vec.sub p origin) dir) points in
+  let tb = Vec.dot (Vec.sub tie_break origin) dir in
+  let c = median_1d ~tie_break:tb coords in
+  Vec.add origin (Vec.scale c dir)
+
+let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Median.weiszfeld: empty array";
+  let d = Vec.dim points.(0) in
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> d then
+        invalid_arg "Median.weiszfeld: mixed dimensions")
+    points;
+  let tie_break = match tie_break with Some t -> t | None -> Vec.zero d in
+  if n = 1 then Vec.copy points.(0)
+  else if d = 1 then
+    [| median_1d ~tie_break:tie_break.(0) (Array.map (fun p -> p.(0)) points) |]
+  else begin
+    (* Scale for the degeneracy tests relative to the point spread. *)
+    let origin = points.(0) in
+    let spread =
+      Array.fold_left (fun acc p -> Float.max acc (Vec.dist origin p)) 0.0 points
+    in
+    if spread < 1e-300 then Vec.copy origin
+    else begin
+      let far =
+        (* A point realizing (almost) the spread; must be distinct from
+           origin since spread > 0. *)
+        let best = ref points.(0) and best_d = ref 0.0 in
+        Array.iter
+          (fun p ->
+            let dd = Vec.dist origin p in
+            if dd > !best_d then begin best := p; best_d := dd end)
+          points;
+        !best
+      in
+      match Vec.normalize (Vec.sub far origin) with
+      | None -> Vec.copy origin
+      | Some dir ->
+        if collinear_along ~origin ~dir ~eps:(1e-12 *. spread) points then
+          (if n = 2 then project_segment points.(0) points.(1) tie_break
+           else collinear_median ~origin ~dir ~tie_break points)
+        else begin
+          (* Vardi–Zhang modified Weiszfeld iteration.  Start from the
+             centroid, which is never worse than 2x optimal. *)
+          let y = ref (Vec.centroid points) in
+          let tol = Float.max eps (eps *. spread) in
+          let iter = ref 0 in
+          let continue = ref true in
+          while !continue && !iter < max_iter do
+            incr iter;
+            (* Multiplicity of the current iterate among the inputs and
+               the weighted resultant of the other points. *)
+            let anchor_eps = 1e-13 *. spread in
+            let multiplicity = ref 0 in
+            let inv_sum = ref 0.0 in
+            let weighted = Array.make d 0.0 in
+            let resultant = Array.make d 0.0 in
+            Array.iter
+              (fun p ->
+                let dist = Vec.dist !y p in
+                if dist <= anchor_eps then incr multiplicity
+                else begin
+                  let w = 1.0 /. dist in
+                  inv_sum := !inv_sum +. w;
+                  for i = 0 to d - 1 do
+                    weighted.(i) <- weighted.(i) +. (w *. p.(i));
+                    resultant.(i) <- resultant.(i) +. (w *. (p.(i) -. !y.(i)))
+                  done
+                end)
+              points;
+            if !inv_sum = 0.0 then
+              (* All points coincide with the iterate. *)
+              continue := false
+            else begin
+              let t = Array.map (fun w -> w /. !inv_sum) weighted in
+              let next =
+                if !multiplicity = 0 then t
+                else begin
+                  let r = Vec.norm resultant in
+                  let k = float_of_int !multiplicity in
+                  if r <= k then begin
+                    (* The anchor point is optimal. *)
+                    continue := false;
+                    Vec.copy !y
+                  end
+                  else
+                    let beta = k /. r in
+                    Vec.add (Vec.scale (1.0 -. beta) t) (Vec.scale beta !y)
+                end
+              in
+              if Vec.dist next !y <= tol then continue := false;
+              y := next
+            end
+          done;
+          !y
+        end
+    end
+  end
+
+let center ~server requests =
+  let n = Array.length requests in
+  if n = 0 then invalid_arg "Median.center: no requests";
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> Vec.dim server then
+        invalid_arg "Median.center: request dimension mismatch")
+    requests;
+  match n with
+  | 1 -> Vec.copy requests.(0)
+  | 2 -> project_segment requests.(0) requests.(1) server
+  | _ -> weiszfeld ~tie_break:server requests
+
+let mean_center ~server requests =
+  if Array.length requests = 0 then invalid_arg "Median.mean_center: no requests";
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> Vec.dim server then
+        invalid_arg "Median.mean_center: request dimension mismatch")
+    requests;
+  Vec.centroid requests

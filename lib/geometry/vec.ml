@@ -1,0 +1,118 @@
+type t = float array
+
+let dim = Array.length
+
+let zero d =
+  if d <= 0 then invalid_arg "Vec.zero: dimension must be positive";
+  Array.make d 0.0
+
+let of_list coords =
+  if coords = [] then invalid_arg "Vec.of_list: empty coordinate list";
+  Array.of_list coords
+
+let make1 x = [| x |]
+
+let make2 x y = [| x; y |]
+
+let x v =
+  if Array.length v = 0 then invalid_arg "Vec.x: empty vector";
+  v.(0)
+
+let y v =
+  if Array.length v < 2 then invalid_arg "Vec.y: dimension < 2";
+  v.(1)
+
+let copy = Array.copy
+
+let check_dim name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)"
+                   name (Array.length u) (Array.length v))
+
+let equal ?(eps = 1e-9) u v =
+  Array.length u = Array.length v
+  && (let ok = ref true in
+      for i = 0 to Array.length u - 1 do
+        if Float.abs (u.(i) -. v.(i)) > eps then ok := false
+      done;
+      !ok)
+
+let add u v =
+  check_dim "add" u v;
+  Array.init (Array.length u) (fun i -> u.(i) +. v.(i))
+
+let sub u v =
+  check_dim "sub" u v;
+  Array.init (Array.length u) (fun i -> u.(i) -. v.(i))
+
+let scale k v = Array.map (fun c -> k *. c) v
+
+let neg v = scale (-1.0) v
+
+let dot u v =
+  check_dim "dot" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let norm2 v = dot v v
+
+let norm v =
+  (* Scale by the max coordinate so that squaring cannot overflow. *)
+  let m = Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 0.0 v in
+  if m = 0.0 || m = infinity then (if m = infinity then infinity else 0.0)
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to Array.length v - 1 do
+      let c = v.(i) /. m in
+      acc := !acc +. (c *. c)
+    done;
+    m *. sqrt !acc
+  end
+
+let dist u v = norm (sub u v)
+
+let dist2 u v = norm2 (sub u v)
+
+let normalize v =
+  let n = norm v in
+  if n < 1e-300 then None else Some (scale (1.0 /. n) v)
+
+let lerp a b s =
+  check_dim "lerp" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. (s *. (b.(i) -. a.(i))))
+
+let move_towards p target d =
+  if d < 0.0 then invalid_arg "Vec.move_towards: negative distance";
+  let gap = dist p target in
+  if gap <= d || gap = 0.0 then copy target
+  else lerp p target (d /. gap)
+
+let clamp_step ~from limit target =
+  if limit < 0.0 then invalid_arg "Vec.clamp_step: negative limit";
+  move_towards from target limit
+
+let centroid ps =
+  let n = Array.length ps in
+  if n = 0 then invalid_arg "Vec.centroid: empty array";
+  let acc = Array.copy ps.(0) in
+  for k = 1 to n - 1 do
+    check_dim "centroid" acc ps.(k);
+    for i = 0 to Array.length acc - 1 do
+      acc.(i) <- acc.(i) +. ps.(k).(i)
+    done
+  done;
+  scale (1.0 /. float_of_int n) acc
+
+let pp ppf v =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%.6g" c)
+    v;
+  Format.fprintf ppf ")"
+
+let to_string v = Format.asprintf "%a" pp v

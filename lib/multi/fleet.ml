@@ -1,0 +1,57 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Cost = Mobile_server.Cost
+module Variant = Mobile_server.Variant
+
+let service_cost fleet requests =
+  if Array.length fleet = 0 then invalid_arg "Fleet.service_cost: empty fleet";
+  Array.fold_left
+    (fun acc req ->
+      let best = ref (Vec.dist fleet.(0) req) in
+      for i = 1 to Array.length fleet - 1 do
+        let d = Vec.dist fleet.(i) req in
+        if d < !best then best := d
+      done;
+      acc +. !best)
+    0.0 requests
+
+let check_fleets from to_ =
+  let k = Array.length from in
+  if k = 0 then invalid_arg "Fleet.step: empty fleet";
+  if Array.length to_ <> k then invalid_arg "Fleet.step: fleet size mismatch";
+  Array.iteri
+    (fun i p ->
+      if Vec.dim p <> Vec.dim from.(0) || Vec.dim to_.(i) <> Vec.dim from.(0)
+      then invalid_arg "Fleet.step: dimension mismatch")
+    from
+
+let step (config : Config.t) ~from ~to_ requests =
+  check_fleets from to_;
+  let move =
+    let acc = ref 0.0 in
+    Array.iteri (fun i p -> acc := !acc +. Vec.dist p to_.(i)) from;
+    config.Config.d_factor *. !acc
+  in
+  let service =
+    match config.Config.variant with
+    | Variant.Move_first -> service_cost to_ requests
+    | Variant.Serve_first -> service_cost from requests
+  in
+  { Cost.move; service }
+
+let feasible ?(tol = 1e-9) ~limit ~start fleets =
+  let slack = limit +. (tol *. Float.max 1.0 limit) in
+  let ok = ref true in
+  let prev = ref start in
+  Array.iter
+    (fun fleet ->
+      Array.iteri
+        (fun i p -> if Vec.dist (!prev).(i) p > slack then ok := false)
+        fleet;
+      prev := fleet)
+    fleets;
+  !ok
+
+let spread_start ~k p =
+  if k < 1 then invalid_arg "Fleet.spread_start: k < 1";
+  Array.init k (fun _ -> Vec.copy p)

@@ -1,0 +1,33 @@
+(** Online fleet algorithms: interface and simple members.
+
+    Mirrors {!Mobile_server.Algorithm} for [k] servers: a named factory
+    returning a stepper from requests to the next fleet positions.  The
+    {!Fleet_engine} clamps each server's move to the online budget. *)
+
+type stepper = Geometry.Vec.t array -> Geometry.Vec.t array
+(** [stepper requests] is the fleet after this round. *)
+
+type t = {
+  name : string;
+  make :
+    ?rng:Prng.Xoshiro.t -> Mobile_server.Config.t ->
+    start:Geometry.Vec.t array -> stepper;
+}
+
+val of_policy :
+  name:string ->
+  (Mobile_server.Config.t -> fleet:Geometry.Vec.t array ->
+   Geometry.Vec.t array -> Geometry.Vec.t array) ->
+  t
+(** Lift a memoryless fleet policy; position bookkeeping and per-server
+    clamping are handled by the wrapper. *)
+
+val stay_put : t
+(** No server ever moves. *)
+
+val partition_requests :
+  fleet:Geometry.Vec.t array -> Geometry.Vec.t array ->
+  Geometry.Vec.t list array
+(** [partition_requests ~fleet requests] buckets each request to its
+    nearest server (lowest index on ties) — the standard decomposition
+    step shared by the fleet strategies. *)

@@ -1,0 +1,43 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Cost = Mobile_server.Cost
+module Instance = Mobile_server.Instance
+
+let static_kmeans ~k (config : Config.t) (inst : Instance.t) rng =
+  if Instance.length inst = 0 then
+    invalid_arg "Fleet_offline.static_kmeans: empty instance";
+  let all_requests =
+    Array.concat (Array.to_list inst.Instance.steps)
+  in
+  if Array.length all_requests = 0 then
+    invalid_arg "Fleet_offline.static_kmeans: instance has no requests";
+  let clustering = Geometry.Kmeans.cluster ~k rng all_requests in
+  let centers = clustering.Geometry.Kmeans.centers in
+  let k_eff = Array.length centers in
+  let m = Config.offline_limit config in
+  (* Walk-then-park trajectory: server i heads to centers.(i mod k_eff)
+     at full offline speed. *)
+  let start = Fleet.spread_start ~k inst.Instance.start in
+  let fleet = ref (Array.map Vec.copy start) in
+  let fleets =
+    Array.map
+      (fun _ ->
+        let next =
+          Array.mapi
+            (fun i p -> Vec.move_towards p centers.(i mod k_eff) m)
+            !fleet
+        in
+        fleet := next;
+        next)
+      inst.Instance.steps
+  in
+  Cost.total (Fleet_engine.replay config ~start fleets inst)
+
+let single_server (config : Config.t) inst =
+  if Instance.dim inst = 1 then Offline.Line_dp.optimum config inst
+  else Offline.Convex_opt.optimum config inst
+
+let best_upper ~k config inst rng =
+  let km = static_kmeans ~k config inst rng in
+  let solo = single_server config inst in
+  if km <= solo then (km, "static-kmeans") else (solo, "single-server-opt")

@@ -1,0 +1,31 @@
+(** Offline comparators for the fleet model.
+
+    The exact offline fleet optimum couples [k] trajectories through a
+    min-assignment and is not convex, so instead of one solver we use
+    the tightest of several {e feasible offline strategies} — each a
+    true upper bound on the fleet optimum, hence each gives a valid
+    lower-bound estimate of an online algorithm's competitive ratio:
+
+    - {!static_kmeans}: walk each server from the start to one of the
+      k-means centers of the entire request history, then sit there;
+    - {!single_server}: the exact single-server optimum with [k − 1]
+      idle servers (more servers never hurt, so [OPT_k <= OPT_1]).
+
+    {!best_upper} returns the cheaper of the two with a label. *)
+
+val static_kmeans :
+  k:int -> Mobile_server.Config.t -> Mobile_server.Instance.t ->
+  Prng.Xoshiro.t -> float
+(** Cost of the walk-then-park k-means fleet.  Raises on an empty
+    instance or an instance with no requests at all. *)
+
+val single_server :
+  Mobile_server.Config.t -> Mobile_server.Instance.t -> float
+(** The single-server optimum: exact line DP in 1-D, the convex solver
+    otherwise. *)
+
+val best_upper :
+  k:int -> Mobile_server.Config.t -> Mobile_server.Instance.t ->
+  Prng.Xoshiro.t -> float * string
+(** [(cost, label)] of the cheaper comparator; [label] is
+    ["static-kmeans"] or ["single-server-opt"]. *)

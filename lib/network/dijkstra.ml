@@ -1,0 +1,112 @@
+(* Binary min-heap on (distance, node) pairs, array-backed. *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create capacity = { data = Array.make (Stdlib.max 1 capacity) (0.0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if fst h.data.(i) < fst h.data.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then
+      smallest := left;
+    if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    h.data.(h.size) <- entry;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h 0
+      end;
+      Some top
+    end
+end
+
+let single_source g s =
+  let n = Graph.nodes g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.single_source: bad source";
+  let dist = Array.make n infinity in
+  dist.(s) <- 0.0;
+  let heap = Heap.create n in
+  Heap.push heap (0.0, s);
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d <= dist.(u) then
+        List.iter
+          (fun (v, len) ->
+            let nd = d +. len in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Heap.push heap (nd, v)
+            end)
+          (Graph.neighbors g u);
+      loop ()
+  in
+  loop ();
+  dist
+
+type metric = { n : int; table : float array array }
+
+let all_pairs g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Dijkstra.all_pairs: graph is not connected";
+  let n = Graph.nodes g in
+  { n; table = Array.init n (fun s -> single_source g s) }
+
+let distance m u v =
+  if u < 0 || u >= m.n || v < 0 || v >= m.n then
+    invalid_arg "Dijkstra.distance: node out of range";
+  m.table.(u).(v)
+
+let size m = m.n
+
+let diameter m =
+  let best = ref 0.0 in
+  Array.iter
+    (Array.iter (fun d -> if d > !best then best := d))
+    m.table;
+  !best
+
+let nearest m u candidates =
+  match candidates with
+  | [] -> invalid_arg "Dijkstra.nearest: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun best c -> if distance m u c < distance m u best then c else best)
+      first rest

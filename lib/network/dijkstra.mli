@@ -1,0 +1,30 @@
+(** Shortest-path distances (Dijkstra with a binary heap).
+
+    The Page Migration cost model charges graph distances for both
+    requests and migrations, so the engine precomputes the metric
+    closure once per graph. *)
+
+type metric
+(** All-pairs shortest-path distances of a connected graph. *)
+
+val single_source : Graph.t -> int -> float array
+(** [single_source g s] is the distance from [s] to every node;
+    [infinity] for unreachable nodes. *)
+
+val all_pairs : Graph.t -> metric
+(** [all_pairs g] runs Dijkstra from every node.  Raises
+    [Invalid_argument] if [g] is not connected (the PM model needs a
+    total metric). *)
+
+val distance : metric -> int -> int -> float
+(** [distance m u v] is the shortest-path distance. *)
+
+val size : metric -> int
+(** Number of nodes the metric covers. *)
+
+val diameter : metric -> float
+(** Largest pairwise distance. *)
+
+val nearest : metric -> int -> int list -> int
+(** [nearest m u candidates] is the candidate closest to [u] (first on
+    ties).  Raises [Invalid_argument] on an empty candidate list. *)

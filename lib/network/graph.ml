@@ -1,0 +1,179 @@
+type t = {
+  n : int;
+  adjacency : (int * float) list array;
+  edge_list : (int * int * float) list;
+}
+
+let nodes g = g.n
+
+let edges g = g.edge_list
+
+let neighbors g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.neighbors: node out of range";
+  g.adjacency.(u)
+
+let of_edges ~nodes:n edge_list =
+  if n < 1 then invalid_arg "Graph.of_edges: need at least one node";
+  let adjacency = Array.make n [] in
+  let seen = Hashtbl.create (List.length edge_list) in
+  let normalized =
+    List.map
+      (fun (u, v, len) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: endpoint out of range";
+        if u = v then invalid_arg "Graph.of_edges: self-loop";
+        if not (Float.is_finite len) || len <= 0.0 then
+          invalid_arg "Graph.of_edges: edge length must be positive";
+        let u, v = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen (u, v) then
+          invalid_arg "Graph.of_edges: duplicate edge";
+        Hashtbl.add seen (u, v) ();
+        adjacency.(u) <- (v, len) :: adjacency.(u);
+        adjacency.(v) <- (u, len) :: adjacency.(v);
+        (u, v, len))
+      edge_list
+  in
+  { n; adjacency; edge_list = normalized }
+
+let is_connected g =
+  let visited = Array.make g.n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  visited.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun (v, _) ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          incr count;
+          Queue.add v queue
+        end)
+      g.adjacency.(u)
+  done;
+  !count = g.n
+
+let path ?(edge_length = 1.0) n =
+  if n < 1 then invalid_arg "Graph.path: n < 1";
+  of_edges ~nodes:n
+    (List.init (Stdlib.max 0 (n - 1)) (fun i -> (i, i + 1, edge_length)))
+
+let cycle ?(edge_length = 1.0) n =
+  if n < 3 then invalid_arg "Graph.cycle: n < 3";
+  of_edges ~nodes:n
+    (List.init n (fun i -> (i, (i + 1) mod n, edge_length)))
+
+let star ?(edge_length = 1.0) n =
+  if n < 2 then invalid_arg "Graph.star: n < 2";
+  of_edges ~nodes:n (List.init (n - 1) (fun i -> (0, i + 1, edge_length)))
+
+let complete ?(edge_length = 1.0) n =
+  if n < 2 then invalid_arg "Graph.complete: n < 2";
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, edge_length) :: !edges
+    done
+  done;
+  of_edges ~nodes:n !edges
+
+let grid ?(edge_length = 1.0) ~width ~height () =
+  if width < 1 || height < 1 then invalid_arg "Graph.grid: empty grid";
+  let id x y = (y * width) + x in
+  let edges = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then edges := (id x y, id (x + 1) y, edge_length) :: !edges;
+      if y + 1 < height then edges := (id x y, id x (y + 1), edge_length) :: !edges
+    done
+  done;
+  of_edges ~nodes:(width * height) !edges
+
+let random_tree ~n ?(min_length = 1.0) ?(max_length = 4.0) rng =
+  if n < 1 then invalid_arg "Graph.random_tree: n < 1";
+  if min_length <= 0.0 || max_length < min_length then
+    invalid_arg "Graph.random_tree: bad length range";
+  let edges =
+    List.init (Stdlib.max 0 (n - 1)) (fun i ->
+        let child = i + 1 in
+        let parent = Prng.Xoshiro.next_below rng child in
+        (parent, child, Prng.Dist.uniform rng ~lo:min_length ~hi:max_length))
+  in
+  of_edges ~nodes:n edges
+
+let random_geometric ~n ?radius ?(box = 10.0) rng =
+  if n < 2 then invalid_arg "Graph.random_geometric: n < 2";
+  if box <= 0.0 then invalid_arg "Graph.random_geometric: box <= 0";
+  let radius =
+    match radius with
+    | Some r ->
+      if r <= 0.0 then invalid_arg "Graph.random_geometric: radius <= 0";
+      r
+    | None ->
+      (* Slightly above the connectivity threshold of a random
+         geometric graph: r ~ box · sqrt(2·ln n / n). *)
+      box *. sqrt (2.0 *. log (float_of_int n) /. float_of_int n)
+  in
+  let layout =
+    Array.init n (fun _ ->
+        Geometry.Vec.make2
+          (Prng.Dist.uniform rng ~lo:0.0 ~hi:box)
+          (Prng.Dist.uniform rng ~lo:0.0 ~hi:box))
+  in
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      let d = Geometry.Vec.dist layout.(u) layout.(v) in
+      if d <= radius then edges := (u, v, Float.max d 1e-9) :: !edges
+    done
+  done;
+  (* Patch connectivity: repeatedly connect the component of node 0 to
+     its nearest outside point. *)
+  let connected_to_zero () =
+    let visited = Array.make n false in
+    let adj = Array.make n [] in
+    List.iter
+      (fun (u, v, _) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      !edges;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    visited.(0) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    visited
+  in
+  let continue = ref true in
+  while !continue do
+    let visited = connected_to_zero () in
+    if Array.for_all Fun.id visited then continue := false
+    else begin
+      (* Closest (inside, outside) pair. *)
+      let best = ref None in
+      for u = 0 to n - 1 do
+        if visited.(u) then
+          for v = 0 to n - 1 do
+            if not visited.(v) then begin
+              let d = Geometry.Vec.dist layout.(u) layout.(v) in
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | Some _ | None -> best := Some (u, v, d)
+            end
+          done
+      done;
+      match !best with
+      | Some (u, v, d) -> edges := (u, v, Float.max d 1e-9) :: !edges
+      | None -> continue := false
+    end
+  done;
+  (of_edges ~nodes:n !edges, layout)

@@ -1,0 +1,67 @@
+(** Weighted undirected graphs — the substrate of the classical Page
+    Migration Problem.
+
+    The paper generalizes Page Migration from a fixed network to
+    Euclidean space with a movement cap; this module provides the
+    original setting so the two can be compared (see {!Pm_model} and
+    {!Embedding}).  Nodes are dense integers [0 .. n-1]; edges carry
+    strictly positive lengths; the graph must be connected for the
+    distance metric to be total. *)
+
+type t
+(** An immutable weighted undirected graph. *)
+
+val of_edges : nodes:int -> (int * int * float) list -> t
+(** [of_edges ~nodes edges] builds a graph on [nodes] vertices from
+    [(u, v, length)] triples.  Raises [Invalid_argument] on
+    out-of-range endpoints, self-loops, non-positive or non-finite
+    lengths, or duplicate edges (either orientation). *)
+
+val nodes : t -> int
+(** Number of vertices. *)
+
+val edges : t -> (int * int * float) list
+(** The edge list, each edge once with [u < v]. *)
+
+val neighbors : t -> int -> (int * float) list
+(** [neighbors g u] is the adjacency list of [u]. *)
+
+val is_connected : t -> bool
+(** Breadth-first reachability from node 0. *)
+
+(** {1 Generators}
+
+    All generators produce connected graphs and are deterministic given
+    the PRNG state. *)
+
+val path : ?edge_length:float -> int -> t
+(** [path n] is the path graph [0 — 1 — ... — n-1]; the discrete line. *)
+
+val cycle : ?edge_length:float -> int -> t
+(** [cycle n] is the n-cycle ([n >= 3]). *)
+
+val star : ?edge_length:float -> int -> t
+(** [star n] has node 0 as hub and [n - 1] leaves ([n >= 2]). *)
+
+val complete : ?edge_length:float -> int -> t
+(** [complete n] is the uniform complete graph — Black & Sleator's
+    3-competitive setting. *)
+
+val grid : ?edge_length:float -> width:int -> height:int -> unit -> t
+(** [grid ~width ~height ()] is the [width × height] mesh. *)
+
+val random_tree : n:int -> ?min_length:float -> ?max_length:float ->
+  Prng.Xoshiro.t -> t
+(** [random_tree ~n rng] attaches each node [i >= 1] to a uniform
+    earlier node with a uniform edge length in
+    [[min_length, max_length]] (defaults [[1, 4]]). *)
+
+val random_geometric :
+  n:int -> ?radius:float -> ?box:float -> Prng.Xoshiro.t ->
+  t * Geometry.Vec.t array
+(** [random_geometric ~n rng] samples [n] points uniformly in a
+    [box × box] square (default 10×10) and connects pairs within
+    [radius] (default chosen ≈ connectivity threshold) with their
+    Euclidean distance as length; extra nearest-neighbour edges are
+    added if needed to make the graph connected.  Returns the graph and
+    the point layout (used by {!Embedding}). *)

@@ -1,0 +1,100 @@
+let default_rng name = Prng.Stream.named ~name ~seed:0
+
+let stay_put =
+  {
+    Pm_model.name = "pm-stay-put";
+    make = (fun ?rng:_ _metric ~d_factor:_ ~start -> fun _requests -> start);
+  }
+
+let greedy =
+  {
+    Pm_model.name = "pm-greedy";
+    make =
+      (fun ?rng:_ _metric ~d_factor:_ ~start ->
+        let page = ref start in
+        fun requests ->
+          if Array.length requests > 0 then page := requests.(0);
+          !page);
+  }
+
+let move_to_min =
+  {
+    Pm_model.name = "pm-move-to-min";
+    make =
+      (fun ?rng:_ metric ~d_factor ~start ->
+        let page = ref start in
+        let batch = ref [] in
+        let batch_size = Stdlib.max 1 (int_of_float (Float.ceil d_factor)) in
+        let buffered = ref 0 in
+        let n = Dijkstra.size metric in
+        fun requests ->
+          Array.iter (fun v -> batch := v :: !batch) requests;
+          buffered := !buffered + Array.length requests;
+          if !buffered >= batch_size then begin
+            (* Migrate to the node minimizing D·d(page, x) + Σ d(x, b). *)
+            let best = ref !page and best_cost = ref infinity in
+            for x = 0 to n - 1 do
+              let cost =
+                (d_factor *. Dijkstra.distance metric !page x)
+                +. List.fold_left
+                     (fun acc b -> acc +. Dijkstra.distance metric x b)
+                     0.0 !batch
+              in
+              if cost < !best_cost then begin
+                best := x;
+                best_cost := cost
+              end
+            done;
+            page := !best;
+            batch := [];
+            buffered := 0
+          end;
+          !page);
+  }
+
+let coin_flip =
+  {
+    Pm_model.name = "pm-coin-flip";
+    make =
+      (fun ?rng metric ~d_factor ~start ->
+        ignore metric;
+        let rng = match rng with Some g -> g | None -> default_rng "pm-coin-flip" in
+        let page = ref start in
+        let p = 1.0 /. (2.0 *. d_factor) in
+        fun requests ->
+          Array.iter
+            (fun v -> if Prng.Dist.bernoulli rng ~p then page := v)
+            requests;
+          !page);
+  }
+
+let flip_flop =
+  {
+    Pm_model.name = "pm-flip-flop";
+    make =
+      (fun ?rng metric ~d_factor ~start ->
+        ignore metric;
+        let rng = match rng with Some g -> g | None -> default_rng "pm-flip-flop" in
+        let page = ref start in
+        (* Counter in [0, 2D]: requests away from the page push the
+           counter; at the boundary the page flips to the requester.
+           Randomized reset keeps it memoryless-ish on ties. *)
+        let counter = ref 0 in
+        let bound = Stdlib.max 1 (int_of_float (2.0 *. d_factor)) in
+        fun requests ->
+          Array.iter
+            (fun v ->
+              if v = !page then counter := Stdlib.max 0 (!counter - 1)
+              else begin
+                incr counter;
+                if !counter >= bound then begin
+                  page := v;
+                  counter :=
+                    (if Prng.Dist.fair_coin rng then 0 else bound / 2)
+                end
+              end)
+            requests;
+          !page);
+  }
+
+let all = [ stay_put; greedy; move_to_min; coin_flip; flip_flop ]

@@ -1,0 +1,27 @@
+(** Classical online Page Migration algorithms.
+
+    The literature the paper builds on (its Section 1.1):
+
+    - {!stay_put} — never migrate; the degenerate baseline.
+    - {!greedy} — always migrate to the (first) requesting node.
+    - {!move_to_min} — Westbrook's deterministic 7-competitive
+      strategy: collect [⌈D⌉] requests, then migrate to the node
+      minimizing [D·d(page, x) + Σ_batch d(x, request)] over all nodes.
+    - {!coin_flip} — Westbrook's randomized 3-competitive strategy
+      (against adaptive online adversaries): after each request,
+      migrate to the requesting node with probability [1/(2D)].
+    - {!flip_flop} — the memoryless biased-coin variant for uniform
+      networks in the spirit of Black & Sleator's counter algorithms.
+
+    All are exact implementations of their uncapped originals; the T1/B1
+    experiments run their {e capped} adaptations (in [Baselines]) under
+    the mobile-server model for contrast. *)
+
+val stay_put : Pm_model.algorithm
+val greedy : Pm_model.algorithm
+val move_to_min : Pm_model.algorithm
+val coin_flip : Pm_model.algorithm
+val flip_flop : Pm_model.algorithm
+
+val all : Pm_model.algorithm list
+(** The roster above, in order. *)

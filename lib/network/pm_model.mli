@@ -1,0 +1,65 @@
+(** The classical Page Migration Problem on a graph.
+
+    A page of size [D] lives at a node; each round one or more nodes
+    request data (cost: graph distance to the page), then the page may
+    migrate to any node (cost: [D ×] distance — no per-round cap, the
+    key difference from the Mobile Server Problem).  The paper's model
+    is the Euclidean, movement-capped generalization of this one; this
+    module provides the original for comparison (experiment B1) and for
+    the {!Embedding} bridge.
+
+    Costs follow the move-first convention to match the paper: the page
+    migrates knowing the round's requests, which are then served from
+    the new node. *)
+
+type instance = {
+  start : int;  (** Node holding the page initially. *)
+  rounds : int array array;  (** [rounds.(t)] are the requesting nodes. *)
+}
+
+val make_instance : Graph.t -> start:int -> int array array -> instance
+(** Validates node indices against the graph. *)
+
+type algorithm = {
+  name : string;
+  make :
+    ?rng:Prng.Xoshiro.t -> Dijkstra.metric -> d_factor:float -> start:int ->
+    (int array -> int);
+      (** The stepper consumes one round's requesting nodes and returns
+          the node the page migrates to (possibly unchanged). *)
+}
+
+type run = {
+  algorithm : string;
+  positions : int array;  (** Page node after each round. *)
+  move_cost : float;
+  service_cost : float;
+}
+
+val total : run -> float
+(** [move_cost +. service_cost]. *)
+
+val run :
+  ?rng:Prng.Xoshiro.t -> Dijkstra.metric -> d_factor:float -> algorithm ->
+  instance -> run
+(** Play an algorithm over an instance.  [d_factor >= 1] is the page
+    size [D]. *)
+
+val replay :
+  Dijkstra.metric -> d_factor:float -> start:int -> int array -> instance ->
+  float
+(** Price a precomputed page trajectory (for the offline optimum). *)
+
+val uniform_requests :
+  Graph.t -> t:int -> Prng.Xoshiro.t -> instance
+(** One uniformly random requesting node per round, page starting at
+    node 0 — the classic stress input. *)
+
+val localized_requests :
+  Graph.t -> t:int -> ?locality:float -> ?switch_prob:float ->
+  Prng.Xoshiro.t -> instance
+(** Requests cluster on a "hot" node's neighbourhood: each round the
+    request is the hot node itself with probability [locality]
+    (default 0.8), otherwise one of its neighbours; the hot node
+    re-draws uniformly with probability [switch_prob] (default 0.05)
+    per round — phase-change behaviour where migration pays off. *)

@@ -1,0 +1,47 @@
+type solution = { cost : float; positions : int array }
+
+let solve metric ~d_factor (inst : Pm_model.instance) =
+  if d_factor < 1.0 then invalid_arg "Pm_offline.solve: D must be >= 1";
+  let t_len = Array.length inst.Pm_model.rounds in
+  if t_len = 0 then invalid_arg "Pm_offline.solve: empty instance";
+  let n = Dijkstra.size metric in
+  let value = Array.make n infinity in
+  value.(inst.Pm_model.start) <- 0.0;
+  let parents = Array.make_matrix t_len n 0 in
+  let next = Array.make n 0.0 in
+  for t = 0 to t_len - 1 do
+    let requests = inst.Pm_model.rounds.(t) in
+    for x = 0 to n - 1 do
+      let service =
+        Array.fold_left
+          (fun acc v -> acc +. Dijkstra.distance metric x v)
+          0.0 requests
+      in
+      let best = ref infinity and best_y = ref 0 in
+      for y = 0 to n - 1 do
+        if Float.is_finite value.(y) then begin
+          let c = value.(y) +. (d_factor *. Dijkstra.distance metric y x) in
+          if c < !best then begin
+            best := c;
+            best_y := y
+          end
+        end
+      done;
+      next.(x) <- !best +. service;
+      parents.(t).(x) <- !best_y
+    done;
+    Array.blit next 0 value 0 n
+  done;
+  let best_x = ref 0 in
+  for x = 1 to n - 1 do
+    if value.(x) < value.(!best_x) then best_x := x
+  done;
+  let positions = Array.make t_len 0 in
+  let x = ref !best_x in
+  for t = t_len - 1 downto 0 do
+    positions.(t) <- !x;
+    x := parents.(t).(!x)
+  done;
+  { cost = value.(!best_x); positions }
+
+let optimum metric ~d_factor inst = (solve metric ~d_factor inst).cost

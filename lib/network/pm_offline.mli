@@ -1,0 +1,23 @@
+(** Exact offline optimum for graph Page Migration.
+
+    Without a movement cap the offline problem is a shortest path in a
+    layered graph over the nodes: value iteration
+
+    [V_t(x) = Σ_req d(x, req_t) + min_y ( V_(t-1)(y) + D·d(y, x) )]
+
+    costs [O(T·n²)] — exact, no discretization.  This is the ground
+    truth for experiment B1's empirical competitive ratios. *)
+
+type solution = {
+  cost : float;
+  positions : int array;  (** An optimal page trajectory. *)
+}
+
+val solve :
+  Dijkstra.metric -> d_factor:float -> Pm_model.instance -> solution
+(** [solve metric ~d_factor inst] computes the exact offline optimum.
+    Raises [Invalid_argument] on an empty instance or [d_factor < 1]. *)
+
+val optimum :
+  Dijkstra.metric -> d_factor:float -> Pm_model.instance -> float
+(** The cost field of {!solve}. *)

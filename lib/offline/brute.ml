@@ -1,0 +1,101 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Cost = Mobile_server.Cost
+module Variant = Mobile_server.Variant
+
+(* Shared value-iteration skeleton over an arbitrary finite state set.
+   [points] are the candidate positions, [start_idx] the initial state. *)
+let value_iteration (config : Config.t) inst points start_idx =
+  let t_len = Instance.length inst in
+  let m = Config.offline_limit config in
+  let n = Array.length points in
+  let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
+  let value = Array.make n infinity in
+  value.(start_idx) <- 0.0;
+  let next = Array.make n 0.0 in
+  for t = 0 to t_len - 1 do
+    let reqs = inst.Instance.steps.(t) in
+    let service = Array.map (fun p -> Cost.service_cost p reqs) points in
+    for k = 0 to n - 1 do
+      let best = ref infinity in
+      for j = 0 to n - 1 do
+        if Float.is_finite value.(j) then begin
+          let d = Vec.dist points.(j) points.(k) in
+          if d <= m +. 1e-9 then begin
+            let c =
+              value.(j)
+              +. (config.Config.d_factor *. d)
+              +. (if serve_first then service.(j) else service.(k))
+            in
+            if c < !best then best := c
+          end
+        end
+      done;
+      next.(k) <- !best
+    done;
+    Array.blit next 0 value 0 n
+  done;
+  Array.fold_left Float.min infinity value
+
+let hull_1d inst =
+  let start = inst.Instance.start.(0) in
+  let lo = ref start and hi = ref start in
+  Array.iter
+    (Array.iter (fun v ->
+         if v.(0) < !lo then lo := v.(0);
+         if v.(0) > !hi then hi := v.(0)))
+    inst.Instance.steps;
+  (!lo, !hi)
+
+let grid_1d ~cells config inst =
+  if Instance.dim inst <> 1 then invalid_arg "Brute.grid_1d: not 1-D";
+  if Instance.length inst = 0 then invalid_arg "Brute.grid_1d: empty instance";
+  if cells < 2 then invalid_arg "Brute.grid_1d: cells < 2";
+  let lo, hi = hull_1d inst in
+  let width = Float.max (hi -. lo) 1e-9 in
+  let points =
+    Array.init cells (fun i ->
+        [| lo +. (width *. float_of_int i /. float_of_int (cells - 1)) |])
+  in
+  (* Snap the closest grid point onto the exact start position. *)
+  let start = inst.Instance.start.(0) in
+  let start_idx = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Float.abs (p.(0) -. start) < Float.abs (points.(!start_idx).(0) -. start)
+      then start_idx := i)
+    points;
+  points.(!start_idx) <- [| start |];
+  value_iteration config inst points !start_idx
+
+let grid_2d ~cells_per_axis config inst =
+  if Instance.dim inst <> 2 then invalid_arg "Brute.grid_2d: not 2-D";
+  if Instance.length inst = 0 then invalid_arg "Brute.grid_2d: empty instance";
+  if cells_per_axis < 2 then invalid_arg "Brute.grid_2d: cells_per_axis < 2";
+  let start = inst.Instance.start in
+  let lo = [| start.(0); start.(1) |] and hi = [| start.(0); start.(1) |] in
+  Array.iter
+    (Array.iter (fun v ->
+         for c = 0 to 1 do
+           if v.(c) < lo.(c) then lo.(c) <- v.(c);
+           if v.(c) > hi.(c) then hi.(c) <- v.(c)
+         done))
+    inst.Instance.steps;
+  let n = cells_per_axis in
+  let coord c i =
+    let width = Float.max (hi.(c) -. lo.(c)) 1e-9 in
+    lo.(c) +. (width *. float_of_int i /. float_of_int (n - 1))
+  in
+  let points =
+    Array.init (n * n) (fun k -> [| coord 0 (k / n); coord 1 (k mod n) |])
+  in
+  (* Snap the nearest lattice point onto the start. *)
+  let start_idx = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Vec.dist p start < Vec.dist points.(!start_idx) start then
+        start_idx := i)
+    points;
+  points.(!start_idx) <- Vec.copy start;
+  value_iteration config inst points !start_idx

@@ -1,0 +1,50 @@
+let check_phase ~t ~x =
+  if x < 0 || x > t then invalid_arg "Closed_form: phase x outside [0, T]"
+
+let thm1_adversary_bound ~d ~m ~t ~x =
+  check_phase ~t ~x;
+  let xf = float_of_int x and tf = float_of_int t in
+  (xf *. d *. m) +. (m *. xf *. xf) +. ((tf -. xf) *. d *. m)
+
+let thm1_predicted_ratio ~d ~t = sqrt (float_of_int t /. d)
+
+let thm2_adversary_bound ~d ~m ~r_min ~x ~cycles =
+  if x < 1 then invalid_arg "Closed_form.thm2_adversary_bound: x < 1";
+  if cycles < 0 then invalid_arg "Closed_form.thm2_adversary_bound: cycles < 0";
+  let xf = float_of_int x and rf = float_of_int r_min in
+  (* One cycle: phase 1 costs at most D·x·m + Rmin·m·x², phase 2 costs
+     (x/δ)·D·m; the paper absorbs both into 3·Rmin·m·x² for x large
+     enough.  We return the un-absorbed exact bound plus the absorbed
+     form's worst case, whichever is larger, times the cycle count —
+     callers use it as a safe upper bound. *)
+  let per_cycle = Float.max (3.0 *. rf *. m *. xf *. xf)
+      ((d *. xf *. m) +. (rf *. m *. xf *. xf)) in
+  float_of_int cycles *. per_cycle
+
+let thm2_predicted_ratio ~delta ~r_min ~r_max =
+  if delta <= 0.0 then invalid_arg "Closed_form.thm2_predicted_ratio: delta <= 0";
+  if r_min < 1 || r_max < r_min then
+    invalid_arg "Closed_form.thm2_predicted_ratio: bad request bounds";
+  float_of_int r_max /. float_of_int r_min /. delta
+
+let thm3_adversary_bound ~d ~m ~cycles =
+  if cycles < 0 then invalid_arg "Closed_form.thm3_adversary_bound: cycles < 0";
+  float_of_int cycles *. d *. m
+
+let thm3_predicted_ratio ~d ~r =
+  if r < 1 then invalid_arg "Closed_form.thm3_predicted_ratio: r < 1";
+  float_of_int r /. d
+
+let thm8_adversary_bound ~d ~ms ~ma ~t ~x =
+  check_phase ~t ~x;
+  if ms <= 0.0 || ma <= 0.0 then
+    invalid_arg "Closed_form.thm8_adversary_bound: speeds must be positive";
+  let xf = float_of_int x and tf = float_of_int t in
+  let phase1_rounds = Float.ceil (xf *. ma /. ms) in
+  (d *. xf *. ma)
+  +. (xf *. xf *. ma *. ma /. ms)
+  +. (d *. Float.max 0.0 (tf -. phase1_rounds) *. ms)
+
+let thm8_predicted_ratio ~epsilon ~t =
+  if epsilon <= 0.0 then invalid_arg "Closed_form.thm8_predicted_ratio: epsilon <= 0";
+  sqrt (float_of_int t) *. epsilon /. (1.0 +. epsilon)

@@ -1,0 +1,43 @@
+(** The paper's analytic cost expressions for the lower-bound
+    constructions (Theorems 1, 2, 3 and 8).
+
+    Each lower-bound proof exhibits an explicit adversary strategy and
+    bounds its cost in closed form.  These bounds serve two purposes
+    here: the test suite checks that the implemented adversaries
+    ({!Adversary}) never cost more than the paper claims, and the
+    experiment harness compares the measured expected competitive ratio
+    against the predicted growth rate. *)
+
+val thm1_adversary_bound : d:float -> m:float -> t:int -> x:int -> float
+(** Theorem 1's bound on the adversary's total cost over a [T]-round
+    sequence with separation phase of length [x]:
+    [x·D·m + m·x² + (T−x)·D·m].  Requires [0 <= x <= t]. *)
+
+val thm1_predicted_ratio : d:float -> t:int -> float
+(** The Ω-expression of Theorem 1: [sqrt (T / D)]. *)
+
+val thm2_adversary_bound :
+  d:float -> m:float -> r_min:int -> x:int -> cycles:int -> float
+(** Theorem 2's per-cycle adversary bound, summed over [cycles] cycles:
+    each cycle costs at most [3·Rmin·m·x²] (for [x] large enough, which
+    the construction ensures by choosing [x >= 2/δ] and
+    [x >= D/Rmin]). *)
+
+val thm2_predicted_ratio : delta:float -> r_min:int -> r_max:int -> float
+(** The Ω-expression of Theorem 2: [(1/δ)·(Rmax/Rmin)]. *)
+
+val thm3_adversary_bound : d:float -> m:float -> cycles:int -> float
+(** Theorem 3: the adversary pays at most [D·m] per two-step cycle. *)
+
+val thm3_predicted_ratio : d:float -> r:int -> float
+(** The Ω-expression of Theorem 3: [r / D]. *)
+
+val thm8_adversary_bound :
+  d:float -> ms:float -> ma:float -> t:int -> x:int -> float
+(** Theorem 8's bound on the adversary cost with server speed [ms],
+    agent speed [ma = (1+ε)·ms], horizon [t] and phase-1 parameter [x]:
+    [D·x·ma + x²·ma²/ms + D·(t − x·ma/ms)·ms] (phase lengths rounded
+    up). *)
+
+val thm8_predicted_ratio : epsilon:float -> t:int -> float
+(** The Ω-expression of Theorem 8: [sqrt T · ε/(1+ε)]. *)

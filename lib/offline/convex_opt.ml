@@ -1,0 +1,368 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Cost = Mobile_server.Cost
+module Variant = Mobile_server.Variant
+
+type solution = {
+  cost : float;
+  positions : Vec.t array;
+  subgradient_iterations : int;
+  descent_sweeps : int;
+}
+
+let log_src = Logs.Src.create "offline.convex" ~doc:"Convex trajectory solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Requests charged at position x_t: round t under Move-first, round
+   t+1 under Serve-first (the pre-move position of the next round).
+   Serve-first additionally charges round 0 at the fixed start, which
+   is a constant and can be ignored by the optimizer but must be added
+   back to the reported cost — we simply price the final trajectory
+   with [Cost.trajectory], which accounts for everything. *)
+let requests_at (config : Config.t) (inst : Instance.t) t =
+  match config.Config.variant with
+  | Variant.Move_first -> inst.Instance.steps.(t)
+  | Variant.Serve_first ->
+    if t + 1 < Array.length inst.Instance.steps then
+      inst.Instance.steps.(t + 1)
+    else [||]
+
+let price config (inst : Instance.t) positions =
+  Cost.total (Cost.trajectory config ~start:inst.Instance.start positions inst)
+
+(* Forward feasibility pass: clamp each move to the budget. *)
+let restore_feasible ~limit ~start positions =
+  let prev = ref start in
+  Array.map
+    (fun p ->
+      let q = Vec.clamp_step ~from:!prev limit p in
+      prev := q;
+      q)
+    positions
+
+(* Greedy warm start: chase the current round's charged centroid. *)
+let warm_start config inst ~limit =
+  let t_len = Instance.length inst in
+  let pos = ref inst.Instance.start in
+  Array.init t_len (fun t ->
+      let reqs = requests_at config inst t in
+      let next =
+        if Array.length reqs = 0 then !pos
+        else Vec.clamp_step ~from:!pos limit (Vec.centroid reqs)
+      in
+      pos := next;
+      next)
+
+(* A subgradient of ‖a − b‖ with respect to a; zero at the kink. *)
+let unit_towards a b =
+  match Vec.normalize (Vec.sub a b) with
+  | Some u -> u
+  | None -> Vec.zero (Vec.dim a)
+
+let subgradient config (inst : Instance.t) positions =
+  let t_len = Array.length positions in
+  let d_factor = config.Config.d_factor in
+  let grad = Array.map (fun p -> Vec.zero (Vec.dim p)) positions in
+  let add_into g v = Array.iteri (fun i c -> g.(i) <- g.(i) +. c) v in
+  for t = 0 to t_len - 1 do
+    let prev = if t = 0 then inst.Instance.start else positions.(t - 1) in
+    (* Movement into round t. *)
+    add_into grad.(t) (Vec.scale d_factor (unit_towards positions.(t) prev));
+    (* Movement out of round t. *)
+    if t + 1 < t_len then
+      add_into grad.(t)
+        (Vec.scale d_factor (unit_towards positions.(t) positions.(t + 1)));
+    (* Service pulls. *)
+    Array.iter
+      (fun v -> add_into grad.(t) (unit_towards positions.(t) v))
+      (requests_at config inst t)
+  done;
+  grad
+
+let grad_norm grad =
+  sqrt (Array.fold_left (fun acc g -> acc +. Vec.norm2 g) 0.0 grad)
+
+(* Project [p] into B(a, limit) ∩ B(b, limit) by a few alternating
+   projections; both balls have the same radius, and the intersection
+   is non-empty whenever d(a, b) <= 2·limit. *)
+let project_two_balls ~limit a b p =
+  let q = ref p in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue && !iter < 50 do
+    incr iter;
+    q := Vec.clamp_step ~from:a limit !q;
+    q := Vec.clamp_step ~from:b limit !q;
+    if Vec.dist a !q <= limit *. (1.0 +. 1e-12)
+       && Vec.dist b !q <= limit *. (1.0 +. 1e-12)
+    then continue := false
+  done;
+  !q
+
+(* Damped weighted Weiszfeld step for min Σ w_i ‖x − a_i‖. *)
+let weighted_median_step anchors weights x =
+  let dim = Vec.dim x in
+  let num = Array.make dim 0.0 in
+  let den = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      let d = Vec.dist x a in
+      if d > 1e-12 then begin
+        let w = weights.(i) /. d in
+        den := !den +. w;
+        for c = 0 to dim - 1 do
+          num.(c) <- num.(c) +. (w *. a.(c))
+        done
+      end)
+    anchors;
+  if !den <= 0.0 then x
+  else Array.init dim (fun c -> num.(c) /. !den)
+
+let coordinate_sweep config inst ~limit ~reverse positions =
+  let t_len = Array.length positions in
+  let improved = ref false in
+  for step = 0 to t_len - 1 do
+    let t = if reverse then t_len - 1 - step else step in
+    let prev = if t = 0 then inst.Instance.start else positions.(t - 1) in
+    let reqs = requests_at config inst t in
+    let next_anchor = if t + 1 < t_len then Some positions.(t + 1) else None in
+    (* Local objective around x_t. *)
+    let local x =
+      let moving =
+        config.Config.d_factor
+        *. (Vec.dist prev x
+            +. match next_anchor with
+               | Some n -> Vec.dist x n
+               | None -> 0.0)
+      in
+      moving +. Cost.service_cost x reqs
+    in
+    let anchors, weights =
+      let base = [ (prev, config.Config.d_factor) ] in
+      let base =
+        match next_anchor with
+        | Some n -> (n, config.Config.d_factor) :: base
+        | None -> base
+      in
+      let all =
+        base @ Array.to_list (Array.map (fun v -> (v, 1.0)) reqs)
+      in
+      (Array.of_list (List.map fst all), Array.of_list (List.map snd all))
+    in
+    (* Projected Weiszfeld: project back into the feasible lens after
+       every step, so the iteration optimizes the constrained problem
+       rather than projecting once at the end. *)
+    let project p =
+      match next_anchor with
+      | Some n -> project_two_balls ~limit prev n p
+      | None -> Vec.clamp_step ~from:prev limit p
+    in
+    let candidate = ref positions.(t) in
+    for _ = 1 to 15 do
+      candidate := project (weighted_median_step anchors weights !candidate)
+    done;
+    let projected = !candidate in
+    if local projected < local positions.(t) -. 1e-15 then begin
+      positions.(t) <- projected;
+      improved := true
+    end
+  done;
+  !improved
+
+(* Block translation: nonsmooth coordinate descent stalls when a whole
+   run of consecutive positions must shift together (the interior
+   movement terms hide the gain from any single-coordinate move).  This
+   phase tries translating every dyadic block of the trajectory along
+   its average service pull, with a small line search.
+
+   A pure translation leaves interior movement terms unchanged, so the
+   cost delta is evaluated incrementally — service change inside the
+   block plus the two boundary movement terms, O(block) instead of
+   O(T) — and candidates whose boundary steps would exceed the budget
+   are rejected outright (no restoration pass needed, interior steps
+   remain feasible by construction). *)
+let block_phase config (inst : Instance.t) ~limit positions =
+  let t_len = Array.length positions in
+  if t_len < 2 then false
+  else begin
+    let improved = ref false in
+    let dim = Vec.dim positions.(0) in
+    let d_factor = config.Config.d_factor in
+    let slack = limit *. (1.0 +. 1e-12) in
+    let size = ref 2 in
+    while !size <= t_len do
+      let stride = Stdlib.max 1 (!size / 2) in
+      let i = ref 0 in
+      while !i < t_len do
+        let lo = !i in
+        let hi = Stdlib.min (t_len - 1) (lo + !size - 1) in
+        let before = if lo = 0 then inst.Instance.start else positions.(lo - 1) in
+        (* Average pull on the block: service terms inside, movement
+           terms only at the block boundary. *)
+        let pull = Array.make dim 0.0 in
+        let add v = Array.iteri (fun c x -> pull.(c) <- pull.(c) -. x) v in
+        for t = lo to hi do
+          Array.iter
+            (fun v -> add (unit_towards positions.(t) v))
+            (requests_at config inst t)
+        done;
+        add (Vec.scale d_factor (unit_towards positions.(lo) before));
+        if hi + 1 < t_len then
+          add
+            (Vec.scale d_factor
+               (unit_towards positions.(hi) positions.(hi + 1)));
+        (match Vec.normalize pull with
+         | None -> ()
+         | Some u ->
+           (* Incremental delta for shifting [lo, hi] by [shift]. *)
+           let delta_cost shift =
+             let shifted t = Vec.add positions.(t) shift in
+             let entry_new = Vec.dist before (shifted lo) in
+             if entry_new > slack then None
+             else begin
+               let exit_ok, exit_delta =
+                 if hi + 1 < t_len then begin
+                   let exit_new = Vec.dist (shifted hi) positions.(hi + 1) in
+                   ( exit_new <= slack,
+                     d_factor
+                     *. (exit_new -. Vec.dist positions.(hi) positions.(hi + 1))
+                   )
+                 end
+                 else (true, 0.0)
+               in
+               if not exit_ok then None
+               else begin
+                 let move_delta =
+                   d_factor *. (entry_new -. Vec.dist before positions.(lo))
+                   +. exit_delta
+                 in
+                 let service_delta = ref 0.0 in
+                 for t = lo to hi do
+                   let p = positions.(t) and p' = shifted t in
+                   Array.iter
+                     (fun v ->
+                       service_delta :=
+                         !service_delta +. Vec.dist p' v -. Vec.dist p v)
+                     (requests_at config inst t)
+                 done;
+                 Some (move_delta +. !service_delta)
+               end
+             end
+           in
+           List.iter
+             (fun mag ->
+               let shift = Vec.scale (mag *. limit) u in
+               match delta_cost shift with
+               | Some delta when delta < -1e-12 ->
+                 for t = lo to hi do
+                   positions.(t) <- Vec.add positions.(t) shift
+                 done;
+                 improved := true
+               | Some _ | None -> ())
+             [ 0.25; 1.0; 4.0 ]);
+        i := !i + stride
+      done;
+      size := !size * 2
+    done;
+    !improved
+  end
+
+let solve ?(max_iter = 400) ?(sweeps = 30) (config : Config.t) inst =
+  let t_len = Instance.length inst in
+  if t_len = 0 then invalid_arg "Convex_opt.solve: empty instance";
+  let limit = Config.offline_limit config in
+  let best = ref (warm_start config inst ~limit) in
+  let best_cost = ref (price config inst !best) in
+  let iterations = ref 0 in
+  let sweeps_done = ref 0 in
+  (* Projected subgradient with diminishing steps, from [start_from]. *)
+  let subgradient_phase ~iters start_from =
+    let x = ref (Array.map Vec.copy start_from) in
+    let scale = limit *. sqrt (float_of_int t_len) in
+    (try
+       for k = 1 to iters do
+         incr iterations;
+         let g = subgradient config inst !x in
+         let gn = grad_norm g in
+         if gn < 1e-12 then raise Exit;
+         let alpha = scale /. (gn *. sqrt (float_of_int k)) in
+         let stepped =
+           Array.mapi (fun t p -> Vec.sub p (Vec.scale alpha g.(t))) !x
+         in
+         let feasible =
+           restore_feasible ~limit ~start:inst.Instance.start stepped
+         in
+         let c = price config inst feasible in
+         if c < !best_cost then begin
+           best_cost := c;
+           best := Array.map Vec.copy feasible
+         end;
+         x := feasible
+       done
+     with Exit -> ())
+  in
+  (* Monotone coordinate descent, alternating sweep direction. *)
+  let descent_phase ~rounds start_from =
+    let polished = Array.map Vec.copy start_from in
+    (try
+       for s = 1 to rounds do
+         let before = price config inst polished in
+         let improved =
+           coordinate_sweep config inst ~limit ~reverse:(s mod 2 = 0)
+             polished
+         in
+         incr sweeps_done;
+         let after = price config inst polished in
+         if (not improved) || before -. after <= 1e-10 *. Float.max 1.0 before
+         then raise Exit
+       done
+     with Exit -> ());
+    let c = price config inst polished in
+    if c < !best_cost then begin
+      best_cost := c;
+      best := polished
+    end
+  in
+  (* Interleave the phases; each restarts from the incumbent.  Block
+     translation unsticks coordinate descent from segment-shift kinks,
+     after which another descent round can refine further. *)
+  let block_round () =
+    let candidate = Array.map Vec.copy !best in
+    if block_phase config inst ~limit candidate then begin
+      let c = price config inst candidate in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := candidate
+      end
+    end
+  in
+  let checkpoint label =
+    Log.debug (fun m ->
+        m "T=%d: %s, incumbent cost %.6g" t_len label !best_cost)
+  in
+  checkpoint "warm start";
+  subgradient_phase ~iters:max_iter !best;
+  checkpoint "subgradient 1";
+  descent_phase ~rounds:sweeps !best;
+  checkpoint "descent 1";
+  block_round ();
+  descent_phase ~rounds:sweeps !best;
+  checkpoint "block + descent 2";
+  subgradient_phase ~iters:(Stdlib.max 1 (max_iter / 2)) !best;
+  block_round ();
+  descent_phase ~rounds:sweeps !best;
+  checkpoint "final";
+  (* Numerical safety: force exact feasibility and reprice, so the
+     reported cost is always achieved by the reported trajectory. *)
+  let final = restore_feasible ~limit ~start:inst.Instance.start !best in
+  {
+    cost = price config inst final;
+    positions = final;
+    subgradient_iterations = !iterations;
+    descent_sweeps = !sweeps_done;
+  }
+
+let optimum ?max_iter ?sweeps config inst =
+  (solve ?max_iter ?sweeps config inst).cost

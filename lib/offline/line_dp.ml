@@ -1,0 +1,158 @@
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Variant = Mobile_server.Variant
+
+type solution = { cost : float; positions : Vec.t array; grid_pitch : float }
+
+let log_src = Logs.Src.create "offline.line-dp" ~doc:"Exact 1-D optimum"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Service cost Σ_i |x − v_i| evaluated on every ascending grid point in
+   O(r log r + G) using sorted requests and prefix sums. *)
+let service_on_grid grid requests =
+  let g = Array.length grid in
+  let out = Array.make g 0.0 in
+  let r = Array.length requests in
+  if r > 0 then begin
+    let sorted = Array.map (fun v -> v.(0)) requests in
+    Array.sort Float.compare sorted;
+    let prefix = Array.make (r + 1) 0.0 in
+    for i = 0 to r - 1 do
+      prefix.(i + 1) <- prefix.(i) +. sorted.(i)
+    done;
+    let total = prefix.(r) in
+    let j = ref 0 in
+    for k = 0 to g - 1 do
+      let x = grid.(k) in
+      while !j < r && sorted.(!j) <= x do incr j done;
+      (* !j requests are <= x. *)
+      let below = float_of_int !j and sum_below = prefix.(!j) in
+      let above = float_of_int (r - !j) and sum_above = total -. prefix.(!j) in
+      out.(k) <- (below *. x) -. sum_below +. (sum_above -. (above *. x))
+    done
+  end;
+  out
+
+(* Monotone deque: sliding-window minimum of [key] over windows of
+   half-width [w], reporting the minimizing index.  Scans left-to-right
+   for windows [k-w, k] and (by symmetry, called on reversed data)
+   covers [k, k+w]. *)
+let window_min_left ~w key out_val out_idx =
+  let g = Array.length key in
+  let deque = Array.make g 0 in
+  let head = ref 0 and tail = ref 0 in
+  for k = 0 to g - 1 do
+    (* Drop indices that left the window. *)
+    while !head < !tail && deque.(!head) < k - w do incr head done;
+    (* Maintain increasing key values in the deque. *)
+    while !head < !tail && key.(deque.(!tail - 1)) >= key.(k) do decr tail done;
+    deque.(!tail) <- k;
+    incr tail;
+    let j = deque.(!head) in
+    out_val.(k) <- key.(j);
+    out_idx.(k) <- j
+  done
+
+let solve ?(grid_per_m = 64) (config : Config.t) inst =
+  if Instance.dim inst <> 1 then
+    invalid_arg "Line_dp.solve: instance is not 1-dimensional";
+  let t_len = Instance.length inst in
+  if t_len = 0 then invalid_arg "Line_dp.solve: empty instance";
+  if grid_per_m < 1 then invalid_arg "Line_dp.solve: grid_per_m < 1";
+  let m = Config.offline_limit config in
+  let d_factor = config.Config.d_factor in
+  let start = inst.Instance.start.(0) in
+  (* Hull of start and all requests; the optimum never leaves it. *)
+  let lo = ref start and hi = ref start in
+  Array.iter
+    (Array.iter (fun v ->
+         if v.(0) < !lo then lo := v.(0);
+         if v.(0) > !hi then hi := v.(0)))
+    inst.Instance.steps;
+  let width = !hi -. !lo in
+  (* Keep the parent table (one byte per state per round) within a fixed
+     memory budget. *)
+  let max_cells = 40_000_000 in
+  let max_grid = Stdlib.max 64 (Stdlib.min 60_000 (max_cells / t_len)) in
+  (* Pitch: fine enough for [grid_per_m] points per move budget, but
+     never more than [max_grid] grid points overall.  The parent table
+     stores window offsets in one byte, so the window half-width must
+     stay below 127: widen the pitch if needed. *)
+  let pitch =
+    let by_m = m /. float_of_int (Stdlib.min grid_per_m 126) in
+    let by_width = if width > 0.0 then width /. float_of_int max_grid else by_m in
+    Float.max by_m by_width
+  in
+  (* Anchor the grid at the start position so it is represented exactly. *)
+  let k_lo = -(int_of_float (Float.ceil ((start -. !lo) /. pitch))) in
+  let k_hi = int_of_float (Float.ceil ((!hi -. start) /. pitch)) in
+  let g = k_hi - k_lo + 1 in
+  let grid = Array.init g (fun i -> start +. (float_of_int (k_lo + i) *. pitch)) in
+  let start_idx = -k_lo in
+  let w = Stdlib.max 1 (int_of_float (Float.floor ((m /. pitch) +. 1e-9))) in
+  Log.debug (fun msg ->
+      msg "T=%d: grid of %d points (pitch %.3g, window %d)" t_len g pitch w);
+  let inf = infinity in
+  (* Parent offsets, one byte per state per round: offset + 128. *)
+  let parents = Bytes.make (t_len * g) '\000' in
+  let value = Array.make g inf in
+  value.(start_idx) <- 0.0;
+  (* Scratch arrays reused across rounds. *)
+  let key = Array.make g 0.0 in
+  let left_val = Array.make g 0.0 and left_idx = Array.make g 0 in
+  let right_val = Array.make g 0.0 and right_idx = Array.make g 0 in
+  let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
+  let next = Array.make g 0.0 in
+  let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
+  for t = 0 to t_len - 1 do
+    let service = service_on_grid grid inst.Instance.steps.(t) in
+    (* Base value of staying at y before moving: V(y) (+ service(y) when
+       the variant charges requests at the pre-move position). *)
+    let base j = if serve_first then value.(j) +. service.(j) else value.(j) in
+    (* Left window: j in [k-w, k]; minimize base(j) − D·x_j, add D·x_k. *)
+    for j = 0 to g - 1 do
+      key.(j) <- base j -. (d_factor *. grid.(j))
+    done;
+    window_min_left ~w key left_val left_idx;
+    (* Right window: j in [k, k+w]; scan the reversed array. *)
+    for j = 0 to g - 1 do
+      key.(j) <- base (g - 1 - j) +. (d_factor *. grid.(g - 1 - j))
+    done;
+    window_min_left ~w key rev_val rev_idx;
+    for k = 0 to g - 1 do
+      right_val.(k) <- rev_val.(g - 1 - k);
+      right_idx.(k) <- g - 1 - rev_idx.(g - 1 - k)
+    done;
+    for k = 0 to g - 1 do
+      let x = grid.(k) in
+      let from_left = left_val.(k) +. (d_factor *. x) in
+      let from_right = right_val.(k) -. (d_factor *. x) in
+      let best_val, best_j =
+        if from_left <= from_right then (from_left, left_idx.(k))
+        else (from_right, right_idx.(k))
+      in
+      next.(k) <-
+        (if Float.is_finite best_val then
+           if serve_first then best_val else best_val +. service.(k)
+         else inf);
+      Bytes.set parents ((t * g) + k) (Char.chr (best_j - k + 128))
+    done;
+    Array.blit next 0 value 0 g
+  done;
+  (* Best terminal state, then walk parents back. *)
+  let best_k = ref 0 in
+  for k = 1 to g - 1 do
+    if value.(k) < value.(!best_k) then best_k := k
+  done;
+  let positions = Array.make t_len [| 0.0 |] in
+  let k = ref !best_k in
+  for t = t_len - 1 downto 0 do
+    positions.(t) <- [| grid.(!k) |];
+    let offset = Char.code (Bytes.get parents ((t * g) + !k)) - 128 in
+    k := !k + offset
+  done;
+  { cost = value.(!best_k); positions; grid_pitch = pitch }
+
+let optimum ?grid_per_m config inst = (solve ?grid_per_m config inst).cost

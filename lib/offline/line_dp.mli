@@ -1,0 +1,45 @@
+(** Exact offline optimum on the line, by dynamic programming.
+
+    In 1-D the offline Mobile Server Problem
+
+    [min Σ_t ( D·|P_t − P_{t−1}| + Σ_i |P_t − v_{t,i}| )
+     s.t. |P_t − P_{t−1}| <= m]
+
+    is solved over a discretized position grid.  The grid contains every
+    request coordinate and the start plus a uniform refinement, and the
+    value iteration uses a monotone-deque sliding-window minimum so each
+    round costs [O(G)] instead of [O(G²)]:
+
+    [V_t(x) = service_t(x) + min over y with |y−x| <= m of
+      ( D·|x−y| + V_(t−1)(y) )]
+
+    splits into a left-to-right and a right-to-left window minimum over
+    [V_{t−1}(y) ∓ D·y].  Both cost variants are supported (Serve-first
+    charges [service_t] at [y] instead of [x], which just moves the term
+    inside the window).
+
+    Optimal server positions never leave the convex hull of the request
+    coordinates and the start (moving outside only adds cost), so the
+    grid covers exactly that interval and the result is exact up to the
+    grid resolution: the returned cost overestimates the continuous
+    optimum by at most [T·(D + R)·h] where [h] is the grid pitch. *)
+
+type solution = {
+  cost : float;  (** Total optimal cost on the grid. *)
+  positions : Geometry.Vec.t array;  (** An optimal trajectory (1-D points). *)
+  grid_pitch : float;  (** Grid resolution actually used. *)
+}
+
+val solve : ?grid_per_m:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.t -> solution
+(** [solve config inst] computes the offline optimum of a 1-D instance.
+    [grid_per_m] (default 64) sets the refinement: the pitch is at most
+    [m / grid_per_m].  Raises [Invalid_argument] if [Instance.dim inst
+    <> 1] or the instance is empty.
+
+    The movement budget used is [Config.offline_limit] — the optimum is
+    never augmented. *)
+
+val optimum : ?grid_per_m:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.t -> float
+(** [optimum config inst] is [(solve config inst).cost]. *)

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+(* 2^-53: place 53 random bits after the binary point. *)
+let two_pow_minus_53 = 1.110223024625156540e-16
+
+let next_float g =
+  let bits = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits *. two_pow_minus_53
+
+let next_below g n =
+  if n <= 0 then invalid_arg "Splitmix.next_below: n must be positive";
+  (* Rejection sampling on the low bits for exact uniformity. *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next g) 1 in
+    let value = Int64.rem bits n64 in
+    if Int64.sub bits value > Int64.sub (Int64.add Int64.max_int 1L) n64
+    then draw ()
+    else Int64.to_int value
+  in
+  draw ()
+
+let split g = create (next g)

@@ -1,0 +1,33 @@
+(** SplitMix64 pseudo-random generator.
+
+    A tiny, fast, splittable generator (Steele, Lea & Flood, OOPSLA'14).
+    Used here both as a stand-alone generator and to seed {!Xoshiro}
+    state from a single integer seed.  All state is explicit, so every
+    experiment in the repository is exactly reproducible from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed.  Distinct seeds
+    give statistically independent streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will produce the same
+    future outputs as [g]. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly random bits. *)
+
+val next_float : t -> float
+(** [next_float g] is a uniform float in [[0, 1)], using the top 53 bits
+    of {!next}. *)
+
+val next_below : t -> int -> int
+(** [next_below g n] is a uniform integer in [[0, n)].  [n] must be
+    positive.  Uses rejection sampling, so the result is exactly
+    uniform. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose stream is
+    independent of [g]'s subsequent outputs. *)

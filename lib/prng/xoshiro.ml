@@ -1,0 +1,79 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let of_state s0 s1 s2 s3 =
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Xoshiro.of_state: all-zero state";
+  { s0; s1; s2; s3 }
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let s0 = Splitmix.next sm in
+  let s1 = Splitmix.next sm in
+  let s2 = Splitmix.next sm in
+  let s3 = Splitmix.next sm in
+  (* SplitMix64 output is never all-zero across four draws in practice,
+     but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then of_state 1L 0L 0L 0L
+  else { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let next g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let two_pow_minus_53 = 1.110223024625156540e-16
+
+let next_float g =
+  let bits = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits *. two_pow_minus_53
+
+let next_below g n =
+  if n <= 0 then invalid_arg "Xoshiro.next_below: n must be positive";
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next g) 1 in
+    let value = Int64.rem bits n64 in
+    if Int64.sub bits value > Int64.sub (Int64.add Int64.max_int 1L) n64
+    then draw ()
+    else Int64.to_int value
+  in
+  draw ()
+
+let jump_table =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL;
+     0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump g =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.(logand word (shift_left 1L b)) <> 0L then begin
+          s0 := Int64.logxor !s0 g.s0;
+          s1 := Int64.logxor !s1 g.s1;
+          s2 := Int64.logxor !s2 g.s2;
+          s3 := Int64.logxor !s3 g.s3
+        end;
+        ignore (next g)
+      done)
+    jump_table;
+  g.s0 <- !s0;
+  g.s1 <- !s1;
+  g.s2 <- !s2;
+  g.s3 <- !s3

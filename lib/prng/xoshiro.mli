@@ -1,0 +1,33 @@
+(** xoshiro256** pseudo-random generator.
+
+    The workhorse generator (Blackman & Vigna, 2019): 256 bits of state,
+    period [2^256 - 1], excellent statistical quality and very fast.
+    State is explicit and copyable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] expands a 64-bit seed into a full 256-bit state via
+    {!Splitmix}. *)
+
+val of_state : int64 -> int64 -> int64 -> int64 -> t
+(** [of_state s0 s1 s2 s3] builds a generator from raw state words.  At
+    least one word must be non-zero. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with [g]'s current state. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly random bits. *)
+
+val next_float : t -> float
+(** [next_float g] is a uniform float in [[0, 1)]. *)
+
+val next_below : t -> int -> int
+(** [next_below g n] is a uniform integer in [[0, n)]; [n] must be
+    positive. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by [2^128] steps; used to derive
+    non-overlapping parallel substreams from a common seed. *)

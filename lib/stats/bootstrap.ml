@@ -1,0 +1,29 @@
+type interval = { lo : float; hi : float; point : float }
+
+let statistic_ci ?(resamples = 1000) ?(confidence = 0.95) rng f xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.statistic_ci: empty sample";
+  if resamples < 1 then invalid_arg "Bootstrap.statistic_ci: resamples < 1";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.statistic_ci: confidence outside (0,1)";
+  let point = f xs in
+  let resample = Array.make n 0.0 in
+  let stats =
+    Array.init resamples (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Prng.Xoshiro.next_below rng n)
+        done;
+        f resample)
+  in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  {
+    lo = Quantile.quantile stats alpha;
+    hi = Quantile.quantile stats (1.0 -. alpha);
+    point;
+  }
+
+let sample_mean xs =
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let mean_ci ?resamples ?confidence rng xs =
+  statistic_ci ?resamples ?confidence rng sample_mean xs

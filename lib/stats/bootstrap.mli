@@ -1,0 +1,23 @@
+(** Bootstrap confidence intervals.
+
+    The lower-bound adversaries are randomized (Yao's principle); the
+    measured expected ratios are averages over seeds, reported with
+    percentile-bootstrap confidence intervals. *)
+
+type interval = { lo : float; hi : float; point : float }
+(** [point] is the statistic on the full sample; [lo, hi] bound it at
+    the requested confidence level. *)
+
+val mean_ci :
+  ?resamples:int -> ?confidence:float -> Prng.Xoshiro.t -> float array ->
+  interval
+(** [mean_ci rng xs] is a percentile-bootstrap CI for the mean of a
+    non-empty sample.  [resamples] defaults to 1000, [confidence] to
+    0.95. *)
+
+val statistic_ci :
+  ?resamples:int -> ?confidence:float -> Prng.Xoshiro.t ->
+  (float array -> float) -> float array -> interval
+(** [statistic_ci rng f xs] bootstraps an arbitrary statistic [f] (for
+    example the median, or a fitted slope given paired data encoded in
+    [xs]). *)

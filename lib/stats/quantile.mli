@@ -1,0 +1,18 @@
+(** Quantiles and order statistics over stored samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile ([0 <= q <= 1]) of a non-empty
+    sample, with linear interpolation between order statistics (type-7,
+    the R default).  Does not modify [xs]. *)
+
+val median : float array -> float
+(** [median xs] is [quantile xs 0.5]. *)
+
+val iqr : float array -> float
+(** Interquartile range: [quantile 0.75 - quantile 0.25]. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] buckets a non-empty sample into [bins] equal
+    width bins over [[min, max]]; each cell is
+    [(lower_edge, upper_edge, count)].  The top edge is inclusive.
+    [bins >= 1]. *)

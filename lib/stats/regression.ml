@@ -1,0 +1,46 @@
+type fit = { slope : float; intercept : float; r_squared : float; n : int }
+
+let moments points =
+  let n = Array.length points in
+  let fx = ref 0.0 and fy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      fx := !fx +. x;
+      fy := !fy +. y)
+    points;
+  let mx = !fx /. float_of_int n and my = !fy /. float_of_int n in
+  let sxx = ref 0.0 and syy = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy);
+      sxy := !sxy +. (dx *. dy))
+    points;
+  (mx, my, !sxx, !syy, !sxy)
+
+let ols points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.ols: need at least two points";
+  let mx, my, sxx, syy, sxy = moments points in
+  if sxx <= 0.0 then invalid_arg "Regression.ols: x values are constant";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r_squared =
+    if syy <= 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy)
+  in
+  { slope; intercept; r_squared; n }
+
+let log_log points =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Regression.log_log: coordinates must be positive")
+    points;
+  ols (Array.map (fun (x, y) -> (log x, log y)) points)
+
+let pearson points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.pearson: need at least two points";
+  let _, _, sxx, syy, sxy = moments points in
+  if sxx <= 0.0 || syy <= 0.0 then 0.0 else sxy /. sqrt (sxx *. syy)

@@ -1,0 +1,26 @@
+(** Least-squares fitting — exponent recovery for the scaling laws.
+
+    The paper's bounds predict power laws: the competitive ratio grows
+    like [sqrt T] without augmentation (Theorem 1), like [1/δ] on the
+    line and at most [1/δ^{3/2}] in the plane (Theorems 2 and 4).  The
+    experiments fit [log ratio = slope · log x + intercept] and compare
+    the recovered slope against the prediction. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination of the fit. *)
+  n : int;  (** Number of points used. *)
+}
+
+val ols : (float * float) array -> fit
+(** [ols points] is the ordinary least-squares line through at least two
+    [(x, y)] points with distinct x values. *)
+
+val log_log : (float * float) array -> fit
+(** [log_log points] fits [y = C · x^slope] by OLS on
+    [(log x, log y)].  All coordinates must be strictly positive. *)
+
+val pearson : (float * float) array -> float
+(** Pearson correlation coefficient of at least two points.  [0.] when
+    either coordinate is constant. *)

@@ -1,0 +1,96 @@
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let range_of xs =
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let sparkline xs =
+  if Array.length xs = 0 then invalid_arg "Ascii_plot.sparkline: empty series";
+  let lo, hi = range_of xs in
+  let span = hi -. lo in
+  let buf = Buffer.create (Array.length xs * 3) in
+  Array.iter
+    (fun x ->
+      let idx =
+        if span <= 0.0 then 3
+        else
+          let f = (x -. lo) /. span in
+          Stdlib.min 7 (int_of_float (f *. 8.0))
+      in
+      Buffer.add_string buf blocks.(idx))
+    xs;
+  Buffer.contents buf
+
+let chart ?(width = 72) ?(height = 16) series =
+  if series = [] then invalid_arg "Ascii_plot.chart: no series";
+  if width < 2 || height < 2 then
+    invalid_arg "Ascii_plot.chart: dimensions too small";
+  List.iter
+    (fun (_, xs) ->
+      if Array.length xs = 0 then
+        invalid_arg "Ascii_plot.chart: empty series")
+    series;
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (_, xs) ->
+        let l, h = range_of xs in
+        (Float.min lo l, Float.max hi h))
+      (infinity, neg_infinity) series
+  in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  let plot glyph xs =
+    let n = Array.length xs in
+    for col = 0 to width - 1 do
+      (* Stretch the series over the full width. *)
+      let idx =
+        if n = 1 then 0
+        else
+          let f = float_of_int col /. float_of_int (width - 1) in
+          int_of_float (Float.round (f *. float_of_int (n - 1)))
+      in
+      let f = (xs.(idx) -. lo) /. span in
+      let row = height - 1 - int_of_float (f *. float_of_int (height - 1)) in
+      let row = Stdlib.max 0 (Stdlib.min (height - 1) row) in
+      Bytes.set grid.(row) col glyph
+    done
+  in
+  List.iter (fun (glyph, xs) -> plot glyph xs) series;
+  let buf = Buffer.create (width * height * 2) in
+  Buffer.add_string buf (Printf.sprintf "%.4g\n" hi);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "|";
+      Buffer.add_string buf (Bytes.to_string row);
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%.4g" lo);
+  Buffer.add_string buf
+    (Printf.sprintf "  [glyphs: %s]\n"
+       (String.concat ", "
+          (List.map (fun (g, _) -> String.make 1 g) series)));
+  Buffer.contents buf
+
+let histogram_bars ?(width = 48) rows =
+  List.iter
+    (fun (_, v) ->
+      if v < 0.0 then invalid_arg "Ascii_plot.histogram_bars: negative value")
+    rows;
+  let widest_label =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 rows
+  in
+  let top = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let bar_len =
+        if top <= 0.0 then 0
+        else int_of_float (Float.round (v /. top *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s %.4g\n" widest_label label
+           (String.make bar_len '#') v))
+    rows;
+  Buffer.contents buf

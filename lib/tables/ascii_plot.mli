@@ -1,0 +1,27 @@
+(** Terminal plots — quick visual checks of trajectories and sweeps.
+
+    Deliberately dependency-free: a character grid with min/max axis
+    labels.  Used by the examples to show the optimum, MtC and the
+    request stream evolving together, and handy in a REPL. *)
+
+val sparkline : float array -> string
+(** [sparkline xs] renders a non-empty series as one line of Unicode
+    block characters (▁▂▃▄▅▆▇█), scaled to the series' own range.  A
+    constant series renders as a flat middle line. *)
+
+val chart :
+  ?width:int -> ?height:int -> (char * float array) list -> string
+(** [chart series] plots one or more labelled series against their
+    index.  Each series is a glyph and its values; series may have
+    different lengths (each is stretched over the full width).  The
+    vertical scale is shared and printed on the frame.  [width]
+    defaults to 72 columns, [height] to 16 rows.  Raises
+    [Invalid_argument] on an empty series list, an empty series, or
+    non-positive dimensions.  When two series hit the same cell the
+    later one in the list wins. *)
+
+val histogram_bars :
+  ?width:int -> (string * float) list -> string
+(** [histogram_bars rows] renders labelled magnitudes as horizontal
+    bars scaled to the largest value — a poor man's bar chart for
+    comparison tables.  Values must be non-negative. *)

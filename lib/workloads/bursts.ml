@@ -1,0 +1,37 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(base_rate = 1.5) ?(burst_prob = 0.02) ?(burst_len = 20)
+    ?(burst_size = 12) ?(sigma = 0.8) ?(arena = 40.0) ~dim ~t rng =
+  if base_rate < 0.0 then invalid_arg "Bursts.generate: base_rate < 0";
+  if burst_prob < 0.0 || burst_prob > 1.0 then
+    invalid_arg "Bursts.generate: burst_prob outside [0, 1]";
+  if burst_len < 1 || burst_size < 1 then
+    invalid_arg "Bursts.generate: non-positive burst shape";
+  if sigma < 0.0 || arena <= 0.0 then
+    invalid_arg "Bursts.generate: negative scale parameter";
+  if dim < 1 then invalid_arg "Bursts.generate: dim < 1";
+  if t < 1 then invalid_arg "Bursts.generate: t < 1";
+  let start = Vec.zero dim in
+  let home = Vec.zero dim in
+  let around c =
+    Array.init dim (fun i -> c.(i) +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma)
+  in
+  let burst_left = ref 0 in
+  let hotspot = ref home in
+  let steps =
+    Array.init t (fun _ ->
+        if !burst_left = 0 && Prng.Dist.bernoulli rng ~p:burst_prob then begin
+          burst_left := burst_len;
+          hotspot := Prng.Dist.in_ball rng ~center:start ~radius:arena
+        end;
+        if !burst_left > 0 then begin
+          decr burst_left;
+          Array.init burst_size (fun _ -> around !hotspot)
+        end
+        else begin
+          let r = Prng.Dist.poisson rng ~lambda:base_rate in
+          Array.init r (fun _ -> around home)
+        end)
+  in
+  Instance.make ~start steps

@@ -1,0 +1,20 @@
+(** Bursty arrivals.
+
+    Background traffic: a Poisson number of requests per round (rate
+    [base_rate]) around a fixed home location.  Occasionally (rate
+    [burst_prob] per round) a {e burst} starts: for [burst_len] rounds a
+    heavy volley of [burst_size] requests hammers a random distant
+    hotspot, then traffic reverts.  Stresses exactly the tension the
+    movement cap creates: by the time the server reaches a hotspot the
+    burst may be over. *)
+
+val generate :
+  ?base_rate:float -> ?burst_prob:float -> ?burst_len:int ->
+  ?burst_size:int -> ?sigma:float -> ?arena:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults:
+    [base_rate = 1.5], [burst_prob = 0.02], [burst_len = 20],
+    [burst_size = 12], spread [sigma = 0.8], hotspot radius
+    [arena = 40.].  Rounds can be empty (the model allows it).  Raises
+    [Invalid_argument] on non-positive sizes or probabilities outside
+    [[0, 1]]. *)

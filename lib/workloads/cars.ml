@@ -1,0 +1,38 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(cars = 5) ?(platoon_speed = 1.0) ?(lane_gap = 0.5)
+    ?(jitter = 0.1) ?(phase_change = 0.05) ~dim ~t rng =
+  if cars < 1 then invalid_arg "Cars.generate: cars < 1";
+  if platoon_speed <= 0.0 then invalid_arg "Cars.generate: speed <= 0";
+  if lane_gap < 0.0 || jitter < 0.0 then
+    invalid_arg "Cars.generate: negative geometry parameter";
+  if phase_change < 0.0 || phase_change > 1.0 then
+    invalid_arg "Cars.generate: phase_change outside [0, 1]";
+  if dim < 1 then invalid_arg "Cars.generate: dim < 1";
+  if t < 1 then invalid_arg "Cars.generate: t < 1";
+  let start = Vec.zero dim in
+  (* Fixed formation offsets: lanes when there is a second axis,
+     longitudinal spacing otherwise. *)
+  let offset_of_car k =
+    let o = Vec.zero dim in
+    let centered = float_of_int k -. (float_of_int (cars - 1) /. 2.0) in
+    if dim >= 2 then o.(1) <- centered *. lane_gap
+    else o.(0) <- centered *. lane_gap;
+    o
+  in
+  let offsets = Array.init cars offset_of_car in
+  let head = ref 0.0 in
+  let speed_scale = ref 1.0 in
+  let steps =
+    Array.init t (fun _ ->
+        if Prng.Dist.bernoulli rng ~p:phase_change then
+          speed_scale := Prng.Dist.uniform rng ~lo:0.3 ~hi:1.3;
+        head := !head +. (platoon_speed *. !speed_scale);
+        Array.init cars (fun k ->
+            let p = Vec.copy offsets.(k) in
+            p.(0) <- p.(0) +. !head
+                     +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma:jitter;
+            p))
+  in
+  Instance.make ~start steps

@@ -1,0 +1,21 @@
+(** An autonomous-car platoon — the paper's opening motivation.
+
+    [cars] vehicles drive along a highway (the first axis) in loose
+    formation at [platoon_speed] per round, with per-car lateral lane
+    offsets and small longitudinal jitter; occasionally the platoon
+    brakes or accelerates for a stretch ([phase_change] probability per
+    round scales speed in [[0.3, 1.3]]).  All cars request data from the
+    shared page every round, so the shared mobile server must track the
+    platoon's median.  A server with [m >= platoon_speed] is in the
+    Theorem 10 regime (per-car jitter is bounded); a slower server
+    reproduces the divergence of Theorem 8. *)
+
+val generate :
+  ?cars:int -> ?platoon_speed:float -> ?lane_gap:float -> ?jitter:float ->
+  ?phase_change:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults: [cars = 5],
+    [platoon_speed = 1.], [lane_gap = 0.5], [jitter = 0.1],
+    [phase_change = 0.05].  Requires [dim >= 1]; lanes need [dim >= 2]
+    (in 1-D the lane offset is longitudinal spacing instead).  Raises
+    [Invalid_argument] on non-positive parameters. *)

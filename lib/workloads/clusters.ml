@@ -1,0 +1,29 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(r_min = 1) ?(r_max = 4) ?(sigma = 1.0) ?(drift = 0.3)
+    ?(switch_prob = 0.01) ?(arena = 50.0) ~dim ~t rng =
+  if r_min < 1 || r_max < r_min then
+    invalid_arg "Clusters.generate: need 1 <= r_min <= r_max";
+  if sigma < 0.0 || drift < 0.0 || arena <= 0.0 then
+    invalid_arg "Clusters.generate: negative scale parameter";
+  if switch_prob < 0.0 || switch_prob > 1.0 then
+    invalid_arg "Clusters.generate: switch_prob outside [0, 1]";
+  if dim < 1 then invalid_arg "Clusters.generate: dim < 1";
+  if t < 1 then invalid_arg "Clusters.generate: t < 1";
+  let start = Vec.zero dim in
+  let center = ref (Vec.zero dim) in
+  let velocity = ref (Vec.scale drift (Prng.Dist.direction rng ~dim)) in
+  let steps =
+    Array.init t (fun _ ->
+        if Prng.Dist.bernoulli rng ~p:switch_prob then begin
+          center := Prng.Dist.in_ball rng ~center:start ~radius:arena;
+          velocity := Vec.scale drift (Prng.Dist.direction rng ~dim)
+        end
+        else center := Vec.add !center !velocity;
+        let r = r_min + Prng.Xoshiro.next_below rng (r_max - r_min + 1) in
+        Array.init r (fun _ ->
+            Array.init dim (fun c ->
+                !center.(c) +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma)))
+  in
+  Instance.make ~start steps

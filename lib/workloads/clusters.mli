@@ -1,0 +1,18 @@
+(** Drifting Gaussian clusters.
+
+    Requests are sampled around a cluster center that drifts with a
+    constant velocity plus noise, and occasionally teleports to a fresh
+    hotspot ([switch_prob] per round) — modeling user populations whose
+    interest shifts abruptly.  The number of requests per round is
+    uniform in [[r_min, r_max]], exercising the [Rmax/Rmin] terms of
+    Theorems 2 and 4. *)
+
+val generate :
+  ?r_min:int -> ?r_max:int -> ?sigma:float -> ?drift:float ->
+  ?switch_prob:float -> ?arena:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults: requests
+    uniform in [[1, 4]], cluster spread [sigma = 1.], drift speed
+    [drift = 0.3] per round in a random fixed direction, [switch_prob =
+    0.01], hotspots uniform in a ball of radius [arena = 50.] around the
+    origin.  Raises [Invalid_argument] on inconsistent parameters. *)

@@ -1,0 +1,51 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(agent_speed = 1.0) ?(separation = 30.0) ?(dwell = 25)
+    ?(jitter = -1.0) ~dim ~t rng =
+  if agent_speed <= 0.0 then invalid_arg "Commuter.generate: agent_speed <= 0";
+  if separation <= 0.0 then invalid_arg "Commuter.generate: separation <= 0";
+  if dwell < 0 then invalid_arg "Commuter.generate: dwell < 0";
+  if dim < 1 then invalid_arg "Commuter.generate: dim < 1";
+  if t < 1 then invalid_arg "Commuter.generate: t < 1";
+  let jitter = if jitter < 0.0 then 0.2 *. agent_speed else jitter in
+  if jitter >= agent_speed then
+    invalid_arg "Commuter.generate: jitter must be below agent_speed";
+  let start = Vec.zero dim in
+  let home = Vec.zero dim in
+  let work = Vec.zero dim in
+  work.(0) <- separation;
+  let agent = ref (Vec.copy home) in
+  let heading = ref work in
+  let dwell_left = ref dwell in
+  (* Travel budget per round once jitter is reserved. *)
+  let travel = agent_speed -. jitter in
+  let steps =
+    Array.init t (fun _ ->
+        let next =
+          if !dwell_left > 0 then begin
+            decr dwell_left;
+            Vec.copy !agent
+          end
+          else begin
+            let moved = Vec.move_towards !agent !heading travel in
+            if Vec.dist moved !heading < 1e-9 then begin
+              heading := (if !heading == work then home else work);
+              dwell_left := dwell
+            end;
+            moved
+          end
+        in
+        (* Jitter within the reserved budget, keeping the step legal. *)
+        let offset =
+          if jitter > 0.0 then
+            Vec.scale (jitter *. Prng.Xoshiro.next_float rng)
+              (Prng.Dist.direction rng ~dim)
+          else Vec.zero dim
+        in
+        let jittered = Vec.add next offset in
+        let step = Vec.clamp_step ~from:!agent agent_speed jittered in
+        agent := step;
+        [| Vec.copy step |])
+  in
+  Instance.make ~start steps

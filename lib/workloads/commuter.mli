@@ -1,0 +1,18 @@
+(** A commuting agent — the canonical Moving Client workload.
+
+    One agent shuttles between two anchor points ("home" and "work") at
+    speed at most [agent_speed]: it walks to the far anchor, dwells
+    there for [dwell] rounds with small jitter, walks back, and so on.
+    Every round requests from its current position.  The instance
+    satisfies the Moving Client input constraint for [agent_speed]
+    (jitter is budgeted inside the speed), so with a server at least as
+    fast, Theorem 10 predicts an O(1) ratio without augmentation. *)
+
+val generate :
+  ?agent_speed:float -> ?separation:float -> ?dwell:int -> ?jitter:float ->
+  dim:int -> t:int -> Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults:
+    [agent_speed = 1.], anchors [separation = 30.] apart along the first
+    axis, [dwell = 25], jitter scale [0.2·agent_speed] (clipped so every
+    step stays within [agent_speed]).  Raises [Invalid_argument] on
+    non-positive parameters. *)

@@ -1,0 +1,74 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+(* One helper step: random walk of at most [speed], reflected back
+   toward the zone center when it would leave the zone. *)
+let helper_step rng ~dim ~speed ~zone_center ~zone_radius p =
+  let step =
+    Vec.scale (speed *. Prng.Xoshiro.next_float rng)
+      (Prng.Dist.direction rng ~dim)
+  in
+  let candidate = Vec.add p step in
+  if Vec.dist candidate zone_center <= zone_radius then candidate
+  else
+    (* Step toward the center instead — same length, always legal for a
+       point already inside the zone of radius >= speed. *)
+    Vec.move_towards p zone_center (Vec.norm step)
+
+let validate ~zone_radius ~zone_drift ~helper_speed ~dim ~t =
+  if zone_radius <= 0.0 then invalid_arg "Disaster: zone_radius <= 0";
+  if zone_drift < 0.0 then invalid_arg "Disaster: zone_drift < 0";
+  if helper_speed <= 0.0 then invalid_arg "Disaster: helper_speed <= 0";
+  if helper_speed > zone_radius then
+    invalid_arg "Disaster: helper_speed must not exceed zone_radius";
+  if dim < 1 then invalid_arg "Disaster: dim < 1";
+  if t < 1 then invalid_arg "Disaster: t < 1"
+
+let generate ?(helpers = 8) ?(zone_radius = 10.0) ?(zone_drift = 0.05)
+    ?(helper_speed = 0.8) ?(callout_prob = 0.02) ~dim ~t rng =
+  if helpers < 1 then invalid_arg "Disaster.generate: helpers < 1";
+  if callout_prob < 0.0 || callout_prob > 1.0 then
+    invalid_arg "Disaster.generate: callout_prob outside [0, 1]";
+  validate ~zone_radius ~zone_drift ~helper_speed ~dim ~t;
+  let start = Vec.zero dim in
+  let zone_center = ref (Vec.zero dim) in
+  let zone_velocity = Vec.scale zone_drift (Prng.Dist.direction rng ~dim) in
+  let positions =
+    Array.init helpers (fun _ ->
+        Prng.Dist.in_ball rng ~center:!zone_center ~radius:zone_radius)
+  in
+  let steps =
+    Array.init t (fun _ ->
+        zone_center := Vec.add !zone_center zone_velocity;
+        Array.mapi
+          (fun k p ->
+            let next =
+              if Prng.Dist.bernoulli rng ~p:callout_prob then
+                (* Callout: sprint toward the zone center. *)
+                Vec.move_towards p !zone_center helper_speed
+              else
+                helper_step rng ~dim ~speed:helper_speed
+                  ~zone_center:!zone_center ~zone_radius p
+            in
+            positions.(k) <- next;
+            Vec.copy next)
+          positions)
+  in
+  Instance.make ~start steps
+
+let generate_single ?(zone_radius = 10.0) ?(zone_drift = 0.05)
+    ?(helper_speed = 0.8) ~dim ~t rng =
+  validate ~zone_radius ~zone_drift ~helper_speed ~dim ~t;
+  let start = Vec.zero dim in
+  let zone_center = ref (Vec.zero dim) in
+  let zone_velocity = Vec.scale zone_drift (Prng.Dist.direction rng ~dim) in
+  let agent = ref (Vec.zero dim) in
+  let steps =
+    Array.init t (fun _ ->
+        zone_center := Vec.add !zone_center zone_velocity;
+        agent :=
+          helper_step rng ~dim ~speed:helper_speed ~zone_center:!zone_center
+            ~zone_radius !agent;
+        [| Vec.copy !agent |])
+  in
+  Instance.make ~start steps

@@ -1,0 +1,24 @@
+(** Disaster-relief ad-hoc network — the paper's Section 5 motivation.
+
+    Helpers work inside a disaster zone whose center creeps slowly
+    across the map.  Each round every helper random-walks within the
+    zone (reflected at the zone boundary) and requests coordination data
+    from the shared mobile server; helpers near the zone edge
+    occasionally sprint toward the zone center (a "callout").  The
+    single-helper variant ({!generate_single}) is a legal Moving Client
+    input, matching Theorem 10's disaster-scenario narrative. *)
+
+val generate :
+  ?helpers:int -> ?zone_radius:float -> ?zone_drift:float ->
+  ?helper_speed:float -> ?callout_prob:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the multi-helper instance.  Defaults:
+    [helpers = 8], [zone_radius = 10.], [zone_drift = 0.05],
+    [helper_speed = 0.8], [callout_prob = 0.02].  Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+val generate_single :
+  ?zone_radius:float -> ?zone_drift:float -> ?helper_speed:float ->
+  dim:int -> t:int -> Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** One coordinator agent; the instance satisfies
+    [Instance.is_moving_client ~speed:(helper_speed +. zone_drift)]. *)

@@ -1,0 +1,51 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(hotspots = 3) ?(r_min = 1) ?(r_max = 2) ?(sigma = 1.0)
+    ?(drift = 0.2) ?(spread = 20.0) ~dim ~t rng =
+  if hotspots < 1 then invalid_arg "Hotspots.generate: hotspots < 1";
+  if r_min < 1 || r_max < r_min then
+    invalid_arg "Hotspots.generate: need 1 <= r_min <= r_max";
+  if sigma < 0.0 || drift < 0.0 || spread <= 0.0 then
+    invalid_arg "Hotspots.generate: negative scale parameter";
+  if dim < 1 then invalid_arg "Hotspots.generate: dim < 1";
+  if t < 1 then invalid_arg "Hotspots.generate: t < 1";
+  let start = Vec.zero dim in
+  (* Initial placement: circle in >= 2 dims, even segment in 1-D. *)
+  let place i =
+    let frac = float_of_int i /. float_of_int hotspots in
+    let p = Vec.zero dim in
+    if dim >= 2 then begin
+      p.(0) <- spread *. cos (2.0 *. Float.pi *. frac);
+      p.(1) <- spread *. sin (2.0 *. Float.pi *. frac)
+    end
+    else p.(0) <- spread *. ((2.0 *. frac) -. 1.0);
+    p
+  in
+  let centers = Array.init hotspots place in
+  let velocities =
+    Array.init hotspots (fun _ ->
+        Vec.scale drift (Prng.Dist.direction rng ~dim))
+  in
+  let arena = 2.0 *. spread in
+  let steps =
+    Array.init t (fun _ ->
+        let requests = ref [] in
+        for h = 0 to hotspots - 1 do
+          centers.(h) <- Vec.add centers.(h) velocities.(h);
+          if Vec.norm centers.(h) > arena then begin
+            (* Bounce: pick a fresh inward-ish direction. *)
+            velocities.(h) <- Vec.scale drift (Prng.Dist.direction rng ~dim);
+            centers.(h) <- Vec.move_towards centers.(h) start drift
+          end;
+          let r = r_min + Prng.Xoshiro.next_below rng (r_max - r_min + 1) in
+          for _ = 1 to r do
+            requests :=
+              Array.init dim (fun c ->
+                  centers.(h).(c) +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma)
+              :: !requests
+          done
+        done;
+        Array.of_list !requests)
+  in
+  Instance.make ~start steps

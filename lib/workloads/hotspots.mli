@@ -1,0 +1,20 @@
+(** Simultaneous drifting hotspots — the workload that motivates a
+    {e fleet} of mobile servers.
+
+    [hotspots] request clouds are active at the same time, each drifting
+    independently; every round each hotspot emits between [r_min] and
+    [r_max] requests.  A single server must park between the clouds and
+    pay the spread every round; [k >= hotspots] servers can cover one
+    cloud each.  Used by the multi-server extension experiment (X1). *)
+
+val generate :
+  ?hotspots:int -> ?r_min:int -> ?r_max:int -> ?sigma:float ->
+  ?drift:float -> ?spread:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults:
+    [hotspots = 3] clouds placed uniformly on a circle of radius
+    [spread = 20.] (in 1-D: evenly spaced on a segment), per-hotspot
+    request count in [[r_min, r_max]] = [[1, 2]], cloud scale
+    [sigma = 1.], per-round drift speed [drift = 0.2] in a per-hotspot
+    random direction (re-randomized on wall contact with the arena of
+    radius [2·spread]).  Raises [Invalid_argument] on bad parameters. *)

@@ -1,0 +1,31 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let generate ?(consumers = 25) ?(s = 1.1) ?(requests_per_round = 2)
+    ?(reshuffle_prob = 0.01) ?(arena = 15.0) ~dim ~t rng =
+  if consumers < 1 then invalid_arg "Popular_content.generate: consumers < 1";
+  if s < 0.0 then invalid_arg "Popular_content.generate: s < 0";
+  if requests_per_round < 1 then
+    invalid_arg "Popular_content.generate: requests_per_round < 1";
+  if reshuffle_prob < 0.0 || reshuffle_prob > 1.0 then
+    invalid_arg "Popular_content.generate: reshuffle_prob outside [0, 1]";
+  if arena <= 0.0 then invalid_arg "Popular_content.generate: arena <= 0";
+  if dim < 1 then invalid_arg "Popular_content.generate: dim < 1";
+  if t < 1 then invalid_arg "Popular_content.generate: t < 1";
+  let start = Vec.zero dim in
+  let locations =
+    Array.init consumers (fun _ ->
+        Prng.Dist.in_ball rng ~center:start ~radius:arena)
+  in
+  (* rank_to_location.(k) is the consumer holding popularity rank k+1. *)
+  let rank_to_location = Array.init consumers (fun i -> i) in
+  Prng.Dist.shuffle rng rank_to_location;
+  let steps =
+    Array.init t (fun _ ->
+        if Prng.Dist.bernoulli rng ~p:reshuffle_prob then
+          Prng.Dist.shuffle rng rank_to_location;
+        Array.init requests_per_round (fun _ ->
+            let rank = Prng.Dist.zipf rng ~n:consumers ~s in
+            Vec.copy locations.(rank_to_location.(rank - 1))))
+  in
+  Instance.make ~start steps

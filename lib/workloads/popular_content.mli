@@ -1,0 +1,23 @@
+(** Zipf-popular content consumers.
+
+    A fixed population of consumer locations requests the page with a
+    Zipf popularity law: location of rank [k] is chosen with probability
+    proportional to [1/k^s] each round (one or more draws per round).
+    Ranks are assigned to locations randomly, so the heavy hitters are
+    scattered.  Occasionally the popularity ranking reshuffles
+    ([reshuffle_prob] per round) — a trend change the server must chase.
+
+    This is the classic content-delivery workload: with a skewed law
+    ([s ≳ 1]) the optimum parks near the top-ranked location and
+    migration is rare; with a flat law ([s ≈ 0]) it sits at the
+    population's median. *)
+
+val generate :
+  ?consumers:int -> ?s:float -> ?requests_per_round:int ->
+  ?reshuffle_prob:float -> ?arena:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance.  Defaults:
+    [consumers = 25] locations uniform in a ball of radius
+    [arena = 15.], exponent [s = 1.1], [requests_per_round = 2],
+    [reshuffle_prob = 0.01].  Raises [Invalid_argument] on bad
+    parameters. *)

@@ -1,0 +1,31 @@
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let speed_bound ~dim ~sigma = 3.0 *. sigma *. sqrt (float_of_int dim)
+
+let generate ?(clients = 1) ?(sigma = 0.5) ~dim ~t rng =
+  if clients < 1 then invalid_arg "Random_walk.generate: clients < 1";
+  if sigma <= 0.0 then invalid_arg "Random_walk.generate: sigma <= 0";
+  if dim < 1 then invalid_arg "Random_walk.generate: dim < 1";
+  if t < 1 then invalid_arg "Random_walk.generate: t < 1";
+  let start = Vec.zero dim in
+  let bound = speed_bound ~dim ~sigma in
+  let walkers = Array.init clients (fun _ -> Vec.zero dim) in
+  let steps =
+    Array.init t (fun _ ->
+        Array.map
+          (fun w ->
+            let step =
+              Array.init dim (fun _ -> Prng.Dist.gaussian rng ~mu:0.0 ~sigma)
+            in
+            let step =
+              let n = Vec.norm step in
+              if n > bound then Vec.scale (bound /. n) step else step
+            in
+            Vec.add w step)
+          walkers
+        |> fun next ->
+        Array.blit next 0 walkers 0 clients;
+        Array.map Vec.copy next)
+  in
+  Instance.make ~start steps

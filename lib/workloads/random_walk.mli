@@ -1,0 +1,20 @@
+(** Random-walk clients.
+
+    [clients] independent walkers start at the server position and take
+    a Gaussian step of scale [sigma] each round; every round requests
+    data from every walker.  With [sigma <= m] and one client this is a
+    Moving Client instance with a slow agent — the regime of Theorem 10
+    where MtC is O(1)-competitive without augmentation. *)
+
+val generate :
+  ?clients:int -> ?sigma:float -> dim:int -> t:int ->
+  Prng.Xoshiro.t -> Mobile_server.Instance.t
+(** [generate ~dim ~t rng] builds the instance ([clients] defaults to 1,
+    [sigma] to 0.5).  The walk step is a spherical Gaussian of scale
+    [sigma] per coordinate, clipped to norm [sigma·√dim·3] so the
+    instance remains a legal moving-client input for speed
+    [3·sigma·√dim].  Raises [Invalid_argument] on non-positive
+    parameters. *)
+
+val speed_bound : dim:int -> sigma:float -> float
+(** The clipping bound used by {!generate}: [3·sigma·√dim]. *)

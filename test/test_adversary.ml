@@ -1,0 +1,321 @@
+(* Tests for the lower-bound constructions: structure, feasibility,
+   and agreement with the paper's analytic cost bounds. *)
+
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Variant = Mobile_server.Variant
+module Cost = Mobile_server.Cost
+module Construction = Adversary.Construction
+
+let rng_of seed = Prng.Stream.named ~name:"adversary-test" ~seed
+
+let check_construction config (c : Construction.t) =
+  (* Shared structural invariants: trajectory has the instance's length
+     and is feasible for the offline budget. *)
+  Alcotest.(check int) "trajectory length"
+    (Instance.length c.Construction.instance)
+    (Array.length c.Construction.adversary_positions);
+  Alcotest.(check bool) "feasible" true
+    (Cost.feasible ~limit:(Config.offline_limit config)
+       ~start:c.Construction.instance.Instance.start
+       c.Construction.adversary_positions)
+
+(* --- Construction module ------------------------------------------- *)
+
+let construction_validates () =
+  let inst = Instance.make ~start:(Vec.zero 1) [| [| Vec.make1 1.0 |] |] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Construction.make: trajectory length mismatch")
+    (fun () -> ignore (Construction.make ~instance:inst ~adversary_positions:[||]))
+
+let direction_of_coin () =
+  let d = Construction.direction_of_coin ~dim:3 true in
+  Alcotest.(check (float 1e-9)) "+e1" 1.0 d.(0);
+  let d' = Construction.direction_of_coin ~dim:3 false in
+  Alcotest.(check (float 1e-9)) "-e1" (-1.0) d'.(0);
+  Alcotest.(check (float 1e-9)) "other coords zero" 0.0 d.(1)
+
+let ratio_sample_positive () =
+  let config = Config.make ~d_factor:2.0 () in
+  let c = Adversary.Thm1.generate ~dim:1 ~t:64 config (rng_of 1) in
+  let r =
+    Construction.ratio_sample config Mobile_server.Mtc.algorithm c
+  in
+  if r < 1.0 -. 1e-9 then
+    Alcotest.failf "ratio %g below 1: adversary beat itself?" r
+
+(* --- Theorem 1 ----------------------------------------------------- *)
+
+let thm1_structure () =
+  let config = Config.make ~d_factor:2.0 () in
+  let c = Adversary.Thm1.generate ~x:8 ~dim:2 ~t:64 config (rng_of 2) in
+  check_construction config c;
+  Alcotest.(check int) "T" 64 (Instance.length c.Construction.instance);
+  (* Phase 1 requests on the start. *)
+  let steps = c.Construction.instance.Instance.steps in
+  for t = 0 to 7 do
+    Alcotest.(check (float 1e-9)) "phase-1 request at origin" 0.0
+      (Vec.norm steps.(t).(0))
+  done;
+  (* Phase 2 requests ride the adversary. *)
+  for t = 8 to 63 do
+    Alcotest.(check (float 1e-9)) "phase-2 request on adversary" 0.0
+      (Vec.dist steps.(t).(0) c.Construction.adversary_positions.(t))
+  done
+
+let thm1_cost_within_paper_bound () =
+  let config = Config.make ~d_factor:2.0 () in
+  for seed = 1 to 10 do
+    let t = 100 and x = 10 in
+    let c = Adversary.Thm1.generate ~x ~dim:1 ~t config (rng_of seed) in
+    let cost = Construction.adversary_cost config c in
+    let bound =
+      Offline.Closed_form.thm1_adversary_bound ~d:2.0 ~m:1.0 ~t ~x
+    in
+    if cost > bound +. 1e-6 then
+      Alcotest.failf "adversary cost %g exceeds the paper's bound %g" cost
+        bound
+  done
+
+let thm1_validation () =
+  let config = Config.make () in
+  Alcotest.check_raises "t < 1" (Invalid_argument "Thm1.generate: t < 1")
+    (fun () ->
+      ignore (Adversary.Thm1.generate ~dim:1 ~t:0 config (rng_of 1)));
+  Alcotest.check_raises "x out of range"
+    (Invalid_argument "Thm1.generate: x outside [0, t]") (fun () ->
+      ignore (Adversary.Thm1.generate ~x:11 ~dim:1 ~t:10 config (rng_of 1)))
+
+(* --- Theorem 2 ----------------------------------------------------- *)
+
+let thm2_structure () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let c =
+    Adversary.Thm2.generate ~x:4 ~cycles:2 ~dim:1 ~r_min:2 ~r_max:5 config
+      (rng_of 3)
+  in
+  check_construction config c;
+  (* Cycle length: x + ceil(x/delta) = 4 + 8 = 12; two cycles = 24. *)
+  Alcotest.(check int) "T" 24 (Instance.length c.Construction.instance);
+  let lo, hi = Instance.request_bounds c.Construction.instance in
+  Alcotest.(check (pair int int)) "request bounds" (2, 5) (lo, hi)
+
+let thm2_requires_delta () =
+  let config = Config.make ~delta:0.0 () in
+  Alcotest.check_raises "delta 0"
+    (Invalid_argument "Thm2.generate: requires delta > 0") (fun () ->
+      ignore
+        (Adversary.Thm2.generate ~dim:1 ~r_min:1 ~r_max:1 config (rng_of 1)))
+
+let thm2_planar_needs_dim2 () =
+  let config = Config.make ~delta:0.5 () in
+  Alcotest.check_raises "planar 1-D"
+    (Invalid_argument "Thm2.generate: planar needs dim >= 2") (fun () ->
+      ignore
+        (Adversary.Thm2.generate ~planar:true ~dim:1 ~r_min:1 ~r_max:1 config
+           (rng_of 1)))
+
+let thm2_planar_structure () =
+  let config = Config.make ~delta:0.5 () in
+  let c =
+    Adversary.Thm2.generate ~planar:true ~cycles:3 ~dim:2 ~r_min:1 ~r_max:2
+      config (rng_of 4)
+  in
+  check_construction config c
+
+let thm2_phase2_requests_on_adversary () =
+  let config = Config.make ~delta:1.0 () in
+  let x = 3 in
+  let c =
+    Adversary.Thm2.generate ~x ~cycles:1 ~dim:1 ~r_min:1 ~r_max:4 config
+      (rng_of 5)
+  in
+  let steps = c.Construction.instance.Instance.steps in
+  (* Phase 2 rounds are exactly those with r_max requests. *)
+  Array.iteri
+    (fun t round ->
+      if Array.length round = 4 then
+        Alcotest.(check (float 1e-9)) "phase-2 on adversary" 0.0
+          (Vec.dist round.(0) c.Construction.adversary_positions.(t)))
+    steps
+
+(* --- Theorem 3 ----------------------------------------------------- *)
+
+let thm3_structure () =
+  let config =
+    Config.make ~d_factor:2.0 ~variant:Variant.Serve_first ()
+  in
+  let c = Adversary.Thm3.generate ~cycles:5 ~dim:1 ~r:3 config (rng_of 6) in
+  check_construction config c;
+  Alcotest.(check int) "two rounds per cycle" 10
+    (Instance.length c.Construction.instance);
+  let lo, hi = Instance.request_bounds c.Construction.instance in
+  Alcotest.(check (pair int int)) "fixed r" (3, 3) (lo, hi)
+
+let thm3_adversary_cost_bound () =
+  let cycles = 20 in
+  let config =
+    Config.make ~d_factor:3.0 ~variant:Variant.Serve_first ()
+  in
+  for seed = 1 to 5 do
+    let c =
+      Adversary.Thm3.generate ~cycles ~dim:1 ~r:4 config (rng_of seed)
+    in
+    let cost = Construction.adversary_cost config c in
+    let bound =
+      Offline.Closed_form.thm3_adversary_bound ~d:3.0 ~m:1.0 ~cycles
+    in
+    if cost > bound +. 1e-6 then
+      Alcotest.failf "thm3 adversary cost %g exceeds bound %g" cost bound
+  done
+
+(* --- Theorem 8 ----------------------------------------------------- *)
+
+let thm8_structure () =
+  let config = Config.make ~d_factor:1.0 () in
+  let epsilon = 0.5 in
+  let c =
+    Adversary.Thm8.generate ~dim:1 ~t:200 ~epsilon config (rng_of 7)
+  in
+  check_construction config c;
+  (* The instance is a legal moving-client input at the agent's speed. *)
+  Alcotest.(check bool) "moving client at speed ma" true
+    (Instance.is_moving_client ~speed:(1.0 +. epsilon)
+       c.Construction.instance)
+
+let thm8_agent_meets_adversary () =
+  let config = Config.make () in
+  let epsilon = 1.0 in
+  let c =
+    Adversary.Thm8.generate ~x:5 ~dim:1 ~t:50 ~epsilon config (rng_of 8)
+  in
+  (* After phase 1 (= ceil(x·(1+eps)) = 10 rounds) the request position
+     equals the adversary position forever. *)
+  let steps = c.Construction.instance.Instance.steps in
+  for t = 10 to 49 do
+    Alcotest.(check (float 1e-9)) "co-located" 0.0
+      (Vec.dist steps.(t).(0) c.Construction.adversary_positions.(t))
+  done
+
+let thm8_validation () =
+  let config = Config.make () in
+  Alcotest.check_raises "epsilon <= 0"
+    (Invalid_argument "Thm8.generate: epsilon <= 0") (fun () ->
+      ignore
+        (Adversary.Thm8.generate ~dim:1 ~t:10 ~epsilon:0.0 config (rng_of 1)));
+  Alcotest.check_raises "phase too long"
+    (Invalid_argument "Thm8.generate: phase 1 longer than the horizon t")
+    (fun () ->
+      ignore
+        (Adversary.Thm8.generate ~x:100 ~dim:1 ~t:10 ~epsilon:0.5 config
+           (rng_of 1)))
+
+(* --- Adaptive ------------------------------------------------------ *)
+
+let adaptive_structure () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let c =
+    Adversary.Adaptive.generate ~r:3 ~rng:(rng_of 9) ~dim:2 ~t:40 config
+      Mobile_server.Mtc.algorithm
+  in
+  check_construction config c;
+  let lo, hi = Instance.request_bounds c.Construction.instance in
+  Alcotest.(check (pair int int)) "fixed r" (3, 3) (lo, hi);
+  (* Requests always sit on the adversary's server. *)
+  Array.iteri
+    (fun t round ->
+      Alcotest.(check (float 1e-9)) "request on adversary" 0.0
+        (Vec.dist round.(0) c.Construction.adversary_positions.(t)))
+    c.Construction.instance.Instance.steps
+
+let adaptive_adversary_pays_only_movement () =
+  let config = Config.make ~d_factor:2.0 () in
+  let c =
+    Adversary.Adaptive.generate ~rng:(rng_of 10) ~dim:1 ~t:30 config
+      Mobile_server.Mtc.algorithm
+  in
+  let cost = Construction.adversary_cost config c in
+  (* Movement m = 1 per round at weight D = 2 and no service cost. *)
+  Alcotest.(check (float 1e-6)) "pure movement" 60.0 cost
+
+(* --- Determinism --------------------------------------------------- *)
+
+let generators_deterministic () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let gen seed = Adversary.Thm2.generate ~dim:1 ~r_min:1 ~r_max:3 config
+      (rng_of seed)
+  in
+  let a = gen 42 and b = gen 42 in
+  let ca = Construction.adversary_cost config a in
+  let cb = Construction.adversary_cost config b in
+  Alcotest.(check (float 1e-12)) "same seed, same construction" ca cb
+
+(* --- QCheck: expected-ratio growth --------------------------------- *)
+
+let qcheck_thm1_ratio_grows =
+  QCheck.Test.make ~count:5 ~name:"thm1 ratio grows with T" QCheck.small_int
+    (fun seed ->
+      let config = Config.make ~d_factor:1.0 () in
+      let mean t =
+        let acc = ref 0.0 in
+        for i = 1 to 6 do
+          let c =
+            Adversary.Thm1.generate ~dim:1 ~t config
+              (Prng.Stream.named ~name:"qc-thm1" ~seed:((seed * 100) + i))
+          in
+          acc := !acc
+                 +. Construction.ratio_sample config
+                      Mobile_server.Mtc.algorithm c
+        done;
+        !acc /. 6.0
+      in
+      mean 1024 > mean 64)
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validates" `Quick construction_validates;
+          Alcotest.test_case "direction of coin" `Quick direction_of_coin;
+          Alcotest.test_case "ratio sample positive" `Quick ratio_sample_positive;
+        ] );
+      ( "thm1",
+        [
+          Alcotest.test_case "structure" `Quick thm1_structure;
+          Alcotest.test_case "cost within bound" `Quick thm1_cost_within_paper_bound;
+          Alcotest.test_case "validation" `Quick thm1_validation;
+        ] );
+      ( "thm2",
+        [
+          Alcotest.test_case "structure" `Quick thm2_structure;
+          Alcotest.test_case "requires delta" `Quick thm2_requires_delta;
+          Alcotest.test_case "planar needs dim 2" `Quick thm2_planar_needs_dim2;
+          Alcotest.test_case "planar structure" `Quick thm2_planar_structure;
+          Alcotest.test_case "phase-2 requests" `Quick
+            thm2_phase2_requests_on_adversary;
+        ] );
+      ( "thm3",
+        [
+          Alcotest.test_case "structure" `Quick thm3_structure;
+          Alcotest.test_case "cost bound" `Quick thm3_adversary_cost_bound;
+        ] );
+      ( "thm8",
+        [
+          Alcotest.test_case "structure" `Quick thm8_structure;
+          Alcotest.test_case "agent meets adversary" `Quick
+            thm8_agent_meets_adversary;
+          Alcotest.test_case "validation" `Quick thm8_validation;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "structure" `Quick adaptive_structure;
+          Alcotest.test_case "pays only movement" `Quick
+            adaptive_adversary_pays_only_movement;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed" `Quick generators_deterministic ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_thm1_ratio_grows ] );
+    ]

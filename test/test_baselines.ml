@@ -1,0 +1,256 @@
+(* Tests for the baseline algorithms. *)
+
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Engine = Mobile_server.Engine
+module Algorithm = Mobile_server.Algorithm
+module Cost = Mobile_server.Cost
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let inst_1d rows =
+  Instance.make ~start:(Vec.zero 1)
+    (Array.of_list
+       (List.map (fun row -> Array.of_list (List.map Vec.make1 row)) rows))
+
+(* --- Greedy --------------------------------------------------------- *)
+
+let greedy_burns_full_budget () =
+  let config = Config.make ~d_factor:8.0 ~move_limit:1.0 () in
+  let inst = inst_1d [ [ 10.0 ] ] in
+  let run = Engine.run config Baselines.Greedy.algorithm inst in
+  (* Ignores D: moves the full budget toward the request. *)
+  check_float "full step" 1.0 run.Engine.positions.(0).(0)
+
+let greedy_stops_at_center () =
+  let config = Config.make ~move_limit:5.0 () in
+  let inst = inst_1d [ [ 2.0 ] ] in
+  let run = Engine.run config Baselines.Greedy.algorithm inst in
+  check_float "no overshoot" 2.0 run.Engine.positions.(0).(0)
+
+(* --- Lazy ----------------------------------------------------------- *)
+
+let lazy_threshold_triggers () =
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 () in
+  let alg = Baselines.Lazy_server.threshold ~factor:1.0 () in
+  (* Trigger distance = 1·D·m = 2.  A request at 1.5 does not move it;
+     a request at 3 does. *)
+  let run1 = Engine.run config alg (inst_1d [ [ 1.5 ] ]) in
+  check_float "below threshold" 0.0 run1.Engine.positions.(0).(0);
+  let run2 = Engine.run config alg (inst_1d [ [ 3.0 ] ]) in
+  check_float "above threshold" 1.0 run2.Engine.positions.(0).(0)
+
+let lazy_threshold_validates () =
+  Alcotest.check_raises "factor <= 0"
+    (Invalid_argument "Lazy_server.threshold: factor <= 0") (fun () ->
+      ignore (Baselines.Lazy_server.threshold ~factor:0.0 ()))
+
+(* --- Move-To-Min ---------------------------------------------------- *)
+
+let move_to_min_batches () =
+  (* D = 3 -> batch of 3 requests before any move. *)
+  let config = Config.make ~d_factor:3.0 ~move_limit:100.0 () in
+  let stepper =
+    Baselines.Move_to_min.algorithm.Algorithm.make config
+      ~start:(Vec.zero 1)
+  in
+  let p1 = stepper [| Vec.make1 6.0 |] in
+  check_float "1st request: no move" 0.0 p1.(0);
+  let p2 = stepper [| Vec.make1 6.0 |] in
+  check_float "2nd request: no move" 0.0 p2.(0);
+  let p3 = stepper [| Vec.make1 6.0 |] in
+  (* Batch complete: jump to the batch median. *)
+  check_float "3rd request: move to batch median" 6.0 p3.(0)
+
+let move_to_min_with_batch_validates () =
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Move_to_min.with_batch: k < 1") (fun () ->
+      ignore (Baselines.Move_to_min.with_batch 0))
+
+let move_to_min_custom_batch () =
+  let config = Config.make ~d_factor:10.0 ~move_limit:100.0 () in
+  let alg = Baselines.Move_to_min.with_batch 1 in
+  let stepper = alg.Algorithm.make config ~start:(Vec.zero 1) in
+  let p = stepper [| Vec.make1 4.0 |] in
+  check_float "batch of 1 moves immediately" 4.0 p.(0)
+
+(* --- Follow-EMA ----------------------------------------------------- *)
+
+let follow_ema_smooths () =
+  let config = Config.make ~move_limit:100.0 () in
+  let alg = Baselines.Follow_ema.algorithm ~alpha:0.5 () in
+  let stepper = alg.Algorithm.make config ~start:(Vec.zero 1) in
+  (* EMA after one request at 10 with alpha 0.5 is 5. *)
+  let p = stepper [| Vec.make1 10.0 |] in
+  check_float "half way" 5.0 p.(0)
+
+let follow_ema_validates () =
+  Alcotest.check_raises "alpha out of range"
+    (Invalid_argument "Follow_ema.algorithm: alpha outside (0, 1]") (fun () ->
+      ignore (Baselines.Follow_ema.algorithm ~alpha:1.5 ()))
+
+(* --- Coin-Flip ------------------------------------------------------ *)
+
+let coin_flip_reproducible () =
+  let config = Config.make ~d_factor:4.0 () in
+  let rng () = Prng.Stream.named ~name:"cf-test" ~seed:3 in
+  let inst =
+    Workloads.Clusters.generate ~dim:1 ~t:60
+      (Prng.Stream.named ~name:"cf-inst" ~seed:1)
+  in
+  let a = Engine.total_cost ~rng:(rng ()) config Baselines.Coin_flip.algorithm inst in
+  let b = Engine.total_cost ~rng:(rng ()) config Baselines.Coin_flip.algorithm inst in
+  check_float "same rng, same run" a b
+
+let coin_flip_certain_move () =
+  (* r >= 2D makes the move probability 1. *)
+  let config = Config.make ~d_factor:1.0 ~move_limit:100.0 () in
+  let stepper =
+    Baselines.Coin_flip.algorithm.Algorithm.make
+      ~rng:(Prng.Stream.named ~name:"cf" ~seed:1)
+      config ~start:(Vec.zero 1)
+  in
+  let p = stepper [| Vec.make1 5.0; Vec.make1 5.0 |] in
+  check_float "certain move" 5.0 p.(0)
+
+(* --- Work function -------------------------------------------------- *)
+
+let work_function_requires_1d () =
+  let config = Config.make () in
+  Alcotest.check_raises "2-D rejected"
+    (Invalid_argument "Work_function: 1-D instances only") (fun () ->
+      ignore
+        (Baselines.Work_function.algorithm.Algorithm.make config
+           ~start:(Vec.zero 2)
+          : Algorithm.stepper))
+
+let work_function_tracks_persistent_requests () =
+  (* A long run of requests at 5 must eventually pull the server there. *)
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 () in
+  let inst = inst_1d (List.init 20 (fun _ -> [ 5.0 ])) in
+  let run = Engine.run config Baselines.Work_function.algorithm inst in
+  if Float.abs (run.Engine.positions.(19).(0) -. 5.0) > 0.5 then
+    Alcotest.failf "work function stuck at %g" run.Engine.positions.(19).(0)
+
+let work_function_competitive_on_random () =
+  let config = Config.make ~d_factor:2.0 ~delta:1.0 () in
+  let inst =
+    Workloads.Clusters.generate ~r_min:1 ~r_max:2 ~arena:10.0 ~dim:1 ~t:100
+      (Prng.Stream.named ~name:"wf-test" ~seed:5)
+  in
+  let cost = Engine.total_cost config Baselines.Work_function.algorithm inst in
+  let opt = Offline.Line_dp.optimum config inst in
+  let ratio = cost /. opt in
+  if ratio > 12.0 then Alcotest.failf "work function ratio %g too large" ratio
+
+(* --- Rent-or-buy ---------------------------------------------------- *)
+
+let rent_or_buy_waits_then_moves () =
+  let config = Config.make ~d_factor:4.0 ~move_limit:1.0 () in
+  let alg = Baselines.Rent_or_buy.algorithm ~beta:1.0 () in
+  (* Requests at 4: rent = 4/round, buy price = 4·4 = 16.  Rounds 1-3
+     accumulate 12 < 16; round 4 hits 16 and the server starts moving. *)
+  let inst = inst_1d [ [ 4.0 ]; [ 4.0 ]; [ 4.0 ]; [ 4.0 ]; [ 4.0 ] ] in
+  let run = Engine.run config alg inst in
+  check_float "round 1 parked" 0.0 run.Engine.positions.(0).(0);
+  check_float "round 3 parked" 0.0 run.Engine.positions.(2).(0);
+  if run.Engine.positions.(3).(0) <= 0.0 then
+    Alcotest.fail "should start moving once the debt covers the move"
+
+let rent_or_buy_validates () =
+  Alcotest.check_raises "beta <= 0"
+    (Invalid_argument "Rent_or_buy.algorithm: beta <= 0") (fun () ->
+      ignore (Baselines.Rent_or_buy.algorithm ~beta:(-1.0) ()))
+
+(* --- Registry ------------------------------------------------------- *)
+
+let registry_finds_all_names () =
+  List.iter
+    (fun dim ->
+      List.iter
+        (fun name ->
+          match Baselines.Registry.find ~dim name with
+          | Some alg ->
+            Alcotest.(check string) "name matches" name
+              alg.Algorithm.name
+          | None -> Alcotest.failf "lookup failed for %s" name)
+        (Baselines.Registry.names ~dim))
+    [ 1; 2 ]
+
+let registry_work_function_only_1d () =
+  Alcotest.(check bool) "in dim 1" true
+    (Baselines.Registry.find ~dim:1 "work-function" <> None);
+  Alcotest.(check bool) "not in dim 2" true
+    (Baselines.Registry.find ~dim:2 "work-function" = None)
+
+(* --- Cross-cutting: all baselines respect the budget ---------------- *)
+
+let all_respect_budget () =
+  let config = Config.make ~d_factor:2.0 ~move_limit:0.5 ~delta:0.5 () in
+  let inst =
+    Workloads.Bursts.generate ~dim:2 ~t:80
+      (Prng.Stream.named ~name:"budget-test" ~seed:9)
+  in
+  List.iter
+    (fun alg ->
+      let rng = Prng.Stream.named ~name:"budget-alg" ~seed:1 in
+      let run = Engine.run ~rng config alg inst in
+      Alcotest.(check bool)
+        (alg.Algorithm.name ^ " feasible")
+        true
+        (Cost.feasible ~limit:(Config.online_limit config)
+           ~start:inst.Instance.start run.Engine.positions))
+    (Baselines.Registry.all ~dim:2)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "burns full budget" `Quick greedy_burns_full_budget;
+          Alcotest.test_case "stops at center" `Quick greedy_stops_at_center;
+        ] );
+      ( "lazy",
+        [
+          Alcotest.test_case "threshold triggers" `Quick lazy_threshold_triggers;
+          Alcotest.test_case "validates" `Quick lazy_threshold_validates;
+        ] );
+      ( "move-to-min",
+        [
+          Alcotest.test_case "batches" `Quick move_to_min_batches;
+          Alcotest.test_case "validates" `Quick move_to_min_with_batch_validates;
+          Alcotest.test_case "custom batch" `Quick move_to_min_custom_batch;
+        ] );
+      ( "follow-ema",
+        [
+          Alcotest.test_case "smooths" `Quick follow_ema_smooths;
+          Alcotest.test_case "validates" `Quick follow_ema_validates;
+        ] );
+      ( "coin-flip",
+        [
+          Alcotest.test_case "reproducible" `Quick coin_flip_reproducible;
+          Alcotest.test_case "certain move" `Quick coin_flip_certain_move;
+        ] );
+      ( "work-function",
+        [
+          Alcotest.test_case "requires 1-D" `Quick work_function_requires_1d;
+          Alcotest.test_case "tracks persistence" `Quick
+            work_function_tracks_persistent_requests;
+          Alcotest.test_case "competitive on random" `Quick
+            work_function_competitive_on_random;
+        ] );
+      ( "rent-or-buy",
+        [
+          Alcotest.test_case "waits then moves" `Quick rent_or_buy_waits_then_moves;
+          Alcotest.test_case "validates" `Quick rent_or_buy_validates;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "finds all" `Quick registry_finds_all_names;
+          Alcotest.test_case "work-function 1-D only" `Quick
+            registry_work_function_only_1d;
+        ] );
+      ( "budget",
+        [ Alcotest.test_case "all feasible" `Quick all_respect_budget ] );
+    ]

@@ -1,0 +1,327 @@
+(* Tests for the offline optimum solvers: the line DP against brute
+   force, the convex optimizer against the line DP, and the analytic
+   bounds. *)
+
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Variant = Mobile_server.Variant
+module Cost = Mobile_server.Cost
+module Engine = Mobile_server.Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let inst_1d rows =
+  Instance.make ~start:(Vec.zero 1)
+    (Array.of_list
+       (List.map (fun row -> Array.of_list (List.map Vec.make1 row)) rows))
+
+(* --- Line DP: hand-checked cases ----------------------------------- *)
+
+let line_dp_stationary () =
+  (* All requests at the start: optimal is to never move, cost 0. *)
+  let config = Config.make ~d_factor:2.0 () in
+  let inst = inst_1d [ [ 0.0 ]; [ 0.0 ]; [ 0.0 ] ] in
+  let sol = Offline.Line_dp.solve config inst in
+  check_float "zero cost" 0.0 sol.Offline.Line_dp.cost
+
+let line_dp_single_far_request () =
+  (* One request at 10 with m = 1: best is to move 1 toward it (if
+     D < service saving) or stay.  With D = 1: move to 1, service 9,
+     move 1 -> total 10; staying costs 10 too; D = 1 is the break-even,
+     so OPT = 10. *)
+  let config = Config.make ~d_factor:1.0 () in
+  let inst = inst_1d [ [ 10.0 ] ] in
+  check_float "break-even" 10.0 (Offline.Line_dp.optimum config inst)
+
+let line_dp_two_phase () =
+  (* Requests: 5 rounds at 0, then 5 rounds at 3, m = 1, D = 1.
+     A good plan: sit at 0 for the first phase, walk over during the
+     second (positions 1,2,3,3,3): movement 3, service 2+1+0+0+0 = 3,
+     total 6.  The DP must do at least as well. *)
+  let config = Config.make ~d_factor:1.0 () in
+  let inst =
+    inst_1d [ [ 0.0 ]; [ 0.0 ]; [ 0.0 ]; [ 0.0 ]; [ 0.0 ];
+              [ 3.0 ]; [ 3.0 ]; [ 3.0 ]; [ 3.0 ]; [ 3.0 ] ]
+  in
+  let opt = Offline.Line_dp.optimum config inst in
+  if opt > 6.0 +. 1e-6 then Alcotest.failf "DP missed the plan: %g > 6" opt;
+  if opt < 3.0 then Alcotest.failf "DP impossibly cheap: %g" opt
+
+let line_dp_positions_feasible_and_priced () =
+  let config = Config.make ~d_factor:3.0 () in
+  let rng = Prng.Stream.named ~name:"dp-feas" ~seed:5 in
+  let inst =
+    Workloads.Clusters.generate ~r_min:1 ~r_max:3 ~sigma:1.0 ~drift:0.4
+      ~arena:10.0 ~dim:1 ~t:60 rng
+  in
+  let sol = Offline.Line_dp.solve config inst in
+  Alcotest.(check bool) "feasible" true
+    (Cost.feasible ~limit:(Config.offline_limit config)
+       ~start:inst.Instance.start sol.Offline.Line_dp.positions);
+  let priced =
+    Cost.total
+      (Cost.trajectory config ~start:inst.Instance.start
+         sol.Offline.Line_dp.positions inst)
+  in
+  (* The reported cost must equal the price of the reported trajectory. *)
+  Alcotest.(check (float 1e-6)) "self-consistent" sol.Offline.Line_dp.cost
+    priced
+
+let line_dp_rejects_bad_input () =
+  let config = Config.make () in
+  Alcotest.check_raises "2-D rejected"
+    (Invalid_argument "Line_dp.solve: instance is not 1-dimensional")
+    (fun () ->
+      ignore
+        (Offline.Line_dp.solve config
+           (Instance.make ~start:(Vec.zero 2) [| [| Vec.make2 0.0 0.0 |] |])));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Line_dp.solve: empty instance") (fun () ->
+      ignore
+        (Offline.Line_dp.solve config (Instance.make ~start:(Vec.zero 1) [||])))
+
+(* --- Line DP vs brute force ---------------------------------------- *)
+
+let random_small_instance rng ~t ~r_max =
+  let rows =
+    Array.init t (fun _ ->
+        let r = 1 + Prng.Xoshiro.next_below rng r_max in
+        Array.init r (fun _ ->
+            Vec.make1 (Prng.Dist.uniform rng ~lo:(-5.0) ~hi:5.0)))
+  in
+  Instance.make ~start:(Vec.zero 1) rows
+
+let line_dp_matches_brute () =
+  let rng = Prng.Stream.named ~name:"dp-brute" ~seed:11 in
+  for case = 1 to 20 do
+    let t = 2 + Prng.Xoshiro.next_below rng 5 in
+    let inst = random_small_instance rng ~t ~r_max:3 in
+    let d = 1.0 +. float_of_int (Prng.Xoshiro.next_below rng 4) in
+    let variant =
+      if Prng.Dist.fair_coin rng then Variant.Move_first
+      else Variant.Serve_first
+    in
+    let config = Config.make ~d_factor:d ~move_limit:1.5 ~variant () in
+    let dp = Offline.Line_dp.optimum ~grid_per_m:96 config inst in
+    let brute = Offline.Brute.grid_1d ~cells:600 config inst in
+    let tol = 0.02 *. Float.max 1.0 brute in
+    if Float.abs (dp -. brute) > tol then
+      Alcotest.failf "case %d: DP %.6g vs brute %.6g (variant %s, D=%g)"
+        case dp brute (Variant.to_string variant) d
+  done
+
+(* --- Convex optimizer ---------------------------------------------- *)
+
+let convex_matches_line_dp () =
+  let rng = Prng.Stream.named ~name:"cvx-dp" ~seed:21 in
+  for case = 1 to 8 do
+    let inst = random_small_instance rng ~t:20 ~r_max:2 in
+    let config = Config.make ~d_factor:2.0 ~move_limit:1.0 () in
+    let dp = Offline.Line_dp.optimum ~grid_per_m:96 config inst in
+    let cvx = Offline.Convex_opt.optimum ~max_iter:300 config inst in
+    (* The convex solver upper-bounds OPT; require it within 5%. *)
+    if cvx < dp -. (0.02 *. Float.max 1.0 dp) then
+      Alcotest.failf "case %d: convex %.6g below exact OPT %.6g" case cvx dp;
+    if cvx > dp +. (0.05 *. Float.max 1.0 dp) then
+      Alcotest.failf "case %d: convex %.6g too loose vs OPT %.6g" case cvx dp
+  done
+
+let convex_matches_brute_2d () =
+  let rng = Prng.Stream.named ~name:"cvx-brute2d" ~seed:31 in
+  for case = 1 to 4 do
+    let rows =
+      Array.init 4 (fun _ ->
+          [| Vec.make2
+               (Prng.Dist.uniform rng ~lo:(-2.0) ~hi:2.0)
+               (Prng.Dist.uniform rng ~lo:(-2.0) ~hi:2.0) |])
+    in
+    let inst = Instance.make ~start:(Vec.zero 2) rows in
+    let config = Config.make ~d_factor:2.0 ~move_limit:1.0 () in
+    let brute = Offline.Brute.grid_2d ~cells_per_axis:25 config inst in
+    let cvx = Offline.Convex_opt.optimum ~max_iter:400 config inst in
+    (* The lattice overestimates the continuum OPT; the convex solver
+       should not be much worse than the lattice value. *)
+    if cvx > brute +. (0.08 *. Float.max 1.0 brute) then
+      Alcotest.failf "case %d: convex %.6g vs 2-D brute %.6g" case cvx brute
+  done
+
+let convex_solution_feasible () =
+  let rng = Prng.Stream.named ~name:"cvx-feas" ~seed:41 in
+  let inst =
+    Workloads.Clusters.generate ~r_min:1 ~r_max:4 ~sigma:1.0 ~drift:0.5
+      ~arena:10.0 ~dim:2 ~t:50 rng
+  in
+  let config = Config.make ~d_factor:4.0 ~move_limit:1.0 () in
+  let sol = Offline.Convex_opt.solve config inst in
+  Alcotest.(check bool) "feasible" true
+    (Cost.feasible ~limit:(Config.offline_limit config)
+       ~start:inst.Instance.start sol.Offline.Convex_opt.positions);
+  let priced =
+    Cost.total
+      (Cost.trajectory config ~start:inst.Instance.start
+         sol.Offline.Convex_opt.positions inst)
+  in
+  Alcotest.(check (float 1e-6)) "self-consistent" sol.Offline.Convex_opt.cost
+    priced
+
+let convex_never_beaten_by_online () =
+  (* Any online algorithm's cost upper-bounds OPT; the solver should be
+     at least as good as MtC itself on the same instance. *)
+  let rng = Prng.Stream.named ~name:"cvx-vs-mtc" ~seed:51 in
+  let inst =
+    Workloads.Random_walk.generate ~clients:2 ~sigma:0.4 ~dim:2 ~t:60 rng
+  in
+  let config = Config.make ~d_factor:2.0 () in
+  let online = Engine.total_cost config Mobile_server.Mtc.algorithm inst in
+  let cvx = Offline.Convex_opt.optimum ~max_iter:300 config inst in
+  if cvx > online +. (0.02 *. online) then
+    Alcotest.failf "solver (%g) worse than the online algorithm (%g)" cvx
+      online
+
+let convex_empty_rejected () =
+  let config = Config.make () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Convex_opt.solve: empty instance") (fun () ->
+      ignore
+        (Offline.Convex_opt.solve config
+           (Instance.make ~start:(Vec.zero 2) [||])))
+
+(* --- Brute validation ---------------------------------------------- *)
+
+let brute_1d_stationary () =
+  let config = Config.make ~d_factor:2.0 () in
+  let inst = inst_1d [ [ 0.0 ]; [ 0.0 ] ] in
+  check_float "zero" 0.0 (Offline.Brute.grid_1d ~cells:101 config inst)
+
+let brute_rejects_bad_input () =
+  let config = Config.make () in
+  Alcotest.check_raises "cells too small"
+    (Invalid_argument "Brute.grid_1d: cells < 2") (fun () ->
+      ignore (Offline.Brute.grid_1d ~cells:1 config (inst_1d [ [ 0.0 ] ])))
+
+(* --- Closed-form bounds -------------------------------------------- *)
+
+let closed_form_thm1 () =
+  (* x·D·m + m·x² + (T−x)·D·m with D=2, m=1, T=100, x=10:
+     20 + 100 + 180 = 300. *)
+  check_float "thm1" 300.0
+    (Offline.Closed_form.thm1_adversary_bound ~d:2.0 ~m:1.0 ~t:100 ~x:10);
+  check_float "thm1 ratio" 5.0
+    (Offline.Closed_form.thm1_predicted_ratio ~d:4.0 ~t:100)
+
+let closed_form_thm2 () =
+  check_float "thm2 ratio" 16.0
+    (Offline.Closed_form.thm2_predicted_ratio ~delta:0.25 ~r_min:2 ~r_max:8);
+  Alcotest.check_raises "delta 0"
+    (Invalid_argument "Closed_form.thm2_predicted_ratio: delta <= 0")
+    (fun () ->
+      ignore
+        (Offline.Closed_form.thm2_predicted_ratio ~delta:0.0 ~r_min:1
+           ~r_max:1))
+
+let closed_form_thm2_cycle_bound () =
+  (* Per cycle: max(3·Rmin·m·x², D·x·m + Rmin·m·x²) per cycle.
+     With Rmin = 1, m = 1, x = 4, D = 2: max(48, 8 + 16) = 48; two
+     cycles = 96. *)
+  Alcotest.(check (float 1e-9)) "thm2 cycle bound" 96.0
+    (Offline.Closed_form.thm2_adversary_bound ~d:2.0 ~m:1.0 ~r_min:1 ~x:4
+       ~cycles:2);
+  (* Thm-2 adversary's actual cost stays within it. *)
+  let config = Mobile_server.Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let rng = Prng.Stream.named ~name:"cf-thm2" ~seed:1 in
+  let c =
+    Adversary.Thm2.generate ~x:4 ~cycles:2 ~dim:1 ~r_min:1 ~r_max:1 config
+      rng
+  in
+  let cost = Adversary.Construction.adversary_cost config c in
+  if cost > 96.0 +. 1e-6 then
+    Alcotest.failf "thm2 adversary cost %g exceeds the closed form 96" cost
+
+let closed_form_thm3 () =
+  check_float "thm3 bound" 30.0
+    (Offline.Closed_form.thm3_adversary_bound ~d:3.0 ~m:1.0 ~cycles:10);
+  check_float "thm3 ratio" 4.0
+    (Offline.Closed_form.thm3_predicted_ratio ~d:2.0 ~r:8)
+
+let closed_form_thm8 () =
+  let b =
+    Offline.Closed_form.thm8_adversary_bound ~d:1.0 ~ms:1.0 ~ma:2.0 ~t:100
+      ~x:5
+  in
+  (* D·x·ma + x²·ma²/ms + D·(T − ceil(x·ma/ms))·ms = 10 + 100 + 90. *)
+  check_float "thm8 bound" 200.0 b;
+  check_float "thm8 ratio" (sqrt 100.0 /. 2.0)
+    (Offline.Closed_form.thm8_predicted_ratio ~epsilon:1.0 ~t:100)
+
+let closed_form_phase_validation () =
+  Alcotest.check_raises "x > t"
+    (Invalid_argument "Closed_form: phase x outside [0, T]") (fun () ->
+      ignore
+        (Offline.Closed_form.thm1_adversary_bound ~d:1.0 ~m:1.0 ~t:10 ~x:11))
+
+(* --- QCheck: DP optimality against arbitrary feasible plans -------- *)
+
+let qcheck_dp_beats_any_feasible_plan =
+  QCheck.Test.make ~count:40
+    ~name:"line DP beats random feasible trajectories"
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, t) ->
+      let rng = Prng.Xoshiro.create (Int64.of_int (seed + 1000)) in
+      let inst = random_small_instance rng ~t ~r_max:3 in
+      let config = Config.make ~d_factor:2.0 ~move_limit:1.0 () in
+      let dp = Offline.Line_dp.optimum ~grid_per_m:96 config inst in
+      (* A random feasible trajectory. *)
+      let pos = ref 0.0 in
+      let plan =
+        Array.init t (fun _ ->
+            pos := !pos +. Prng.Dist.uniform rng ~lo:(-1.0) ~hi:1.0;
+            Vec.make1 !pos)
+      in
+      let plan_cost =
+        Cost.total (Cost.trajectory config ~start:inst.Instance.start plan inst)
+      in
+      dp <= plan_cost +. (0.02 *. Float.max 1.0 plan_cost))
+
+let () =
+  Alcotest.run "offline"
+    [
+      ( "line-dp",
+        [
+          Alcotest.test_case "stationary" `Quick line_dp_stationary;
+          Alcotest.test_case "single far request" `Quick line_dp_single_far_request;
+          Alcotest.test_case "two phase" `Quick line_dp_two_phase;
+          Alcotest.test_case "feasible + self-consistent" `Quick
+            line_dp_positions_feasible_and_priced;
+          Alcotest.test_case "rejects bad input" `Quick line_dp_rejects_bad_input;
+          Alcotest.test_case "matches brute" `Slow line_dp_matches_brute;
+        ] );
+      ( "convex",
+        [
+          Alcotest.test_case "matches line DP" `Slow convex_matches_line_dp;
+          Alcotest.test_case "matches 2-D brute" `Slow convex_matches_brute_2d;
+          Alcotest.test_case "feasible + self-consistent" `Quick
+            convex_solution_feasible;
+          Alcotest.test_case "never beaten by online" `Quick
+            convex_never_beaten_by_online;
+          Alcotest.test_case "empty rejected" `Quick convex_empty_rejected;
+        ] );
+      ( "brute",
+        [
+          Alcotest.test_case "stationary" `Quick brute_1d_stationary;
+          Alcotest.test_case "rejects bad input" `Quick brute_rejects_bad_input;
+        ] );
+      ( "closed-form",
+        [
+          Alcotest.test_case "thm1" `Quick closed_form_thm1;
+          Alcotest.test_case "thm2" `Quick closed_form_thm2;
+          Alcotest.test_case "thm2 cycle bound" `Quick
+            closed_form_thm2_cycle_bound;
+          Alcotest.test_case "thm3" `Quick closed_form_thm3;
+          Alcotest.test_case "thm8" `Quick closed_form_thm8;
+          Alcotest.test_case "phase validation" `Quick closed_form_phase_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_dp_beats_any_feasible_plan ] );
+    ]

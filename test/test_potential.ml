@@ -1,0 +1,262 @@
+(* Tests for the potential functions of the paper's analysis and the
+   per-round invariant checker. *)
+
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Engine = Mobile_server.Engine
+module Potential = Mobile_server.Potential
+module Construction = Adversary.Construction
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- phi ------------------------------------------------------------ *)
+
+let phi_zero_at_colocation () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  check_float "phi(0) = 0" 0.0
+    (Potential.phi config ~r:3 ~opt:(Vec.zero 2) ~alg:(Vec.zero 2))
+
+let phi_linear_branch () =
+  (* r > D regime, distance below the threshold delta·D·m/(4r):
+     phi = 2·D·p. *)
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.8 () in
+  (* threshold = 0.8·2·1/(4·4) = 0.1; take p = 0.05. *)
+  let p = 0.05 in
+  check_float "2Dp" (2.0 *. 2.0 *. p)
+    (Potential.phi config ~r:4 ~opt:(Vec.make1 0.0) ~alg:(Vec.make1 p))
+
+let phi_quadratic_branch () =
+  (* Same regime, above the threshold: phi = 8·(r/(delta·m))·p². *)
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.8 () in
+  let p = 3.0 in
+  check_float "8(r/dm)p^2"
+    (8.0 *. 4.0 /. 0.8 *. p *. p)
+    (Potential.phi config ~r:4 ~opt:(Vec.make1 0.0) ~alg:(Vec.make1 p))
+
+let phi_low_request_doubles () =
+  (* r <= D regime doubles both branches. *)
+  let config = Config.make ~d_factor:4.0 ~move_limit:1.0 ~delta:0.8 () in
+  let p = 3.0 in
+  check_float "16(r/dm)p^2"
+    (16.0 *. 1.0 /. 0.8 *. p *. p)
+    (Potential.phi config ~r:1 ~opt:(Vec.make1 0.0) ~alg:(Vec.make1 p))
+
+let phi_requires_delta () =
+  let config = Config.make ~delta:0.0 () in
+  Alcotest.check_raises "delta 0"
+    (Invalid_argument "Potential.phi: requires delta > 0") (fun () ->
+      ignore (Potential.phi config ~r:1 ~opt:(Vec.zero 1) ~alg:(Vec.zero 1)))
+
+let phi_requires_positive_r () =
+  let config = Config.make ~delta:0.5 () in
+  Alcotest.check_raises "r 0"
+    (Invalid_argument "Potential.phi: r must be >= 1") (fun () ->
+      ignore (Potential.phi config ~r:0 ~opt:(Vec.zero 1) ~alg:(Vec.zero 1)))
+
+let phi_continuous_at_threshold () =
+  (* The two branches of the r > D potential differ at the threshold by
+     a bounded factor — check they are within 4x of each other just
+     around it (the analysis only needs phi to be monotone-ish, but a
+     wild discontinuity would indicate a formula bug). *)
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.8 () in
+  let threshold = 0.8 *. 2.0 *. 1.0 /. (4.0 *. 4.0) in
+  let below =
+    Potential.phi config ~r:4 ~opt:(Vec.make1 0.0)
+      ~alg:(Vec.make1 (threshold *. 0.999))
+  in
+  let above =
+    Potential.phi config ~r:4 ~opt:(Vec.make1 0.0)
+      ~alg:(Vec.make1 (threshold *. 1.001))
+  in
+  if above > 4.0 *. below || below > 4.0 *. above then
+    Alcotest.failf "discontinuity at threshold: %g vs %g" below above
+
+(* --- check ---------------------------------------------------------- *)
+
+let trivial_instance t =
+  Instance.make ~start:(Vec.zero 1)
+    (Array.init t (fun _ -> [| Vec.make1 0.0 |]))
+
+let check_length_mismatch () =
+  let config = Config.make ~delta:0.5 () in
+  let inst = trivial_instance 3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Potential.check: trajectory length mismatch")
+    (fun () ->
+      ignore
+        (Potential.check config ~r:1 inst ~alg_positions:[||]
+           ~opt_positions:[||]))
+
+let check_stationary_everything () =
+  (* Everyone sits on the requests: every round is zero-cost for both,
+     the invariant is trivially satisfied. *)
+  let config = Config.make ~delta:0.5 () in
+  let inst = trivial_instance 5 in
+  let zeros = Array.init 5 (fun _ -> Vec.zero 1) in
+  let report =
+    Potential.check config ~r:1 inst ~alg_positions:zeros
+      ~opt_positions:zeros
+  in
+  Alcotest.(check int) "rounds" 5 report.Potential.rounds;
+  Alcotest.(check int) "all zero-opt" 5 report.Potential.zero_opt_rounds;
+  check_float "no excess" 0.0 report.Potential.max_zero_opt_excess;
+  check_float "final potential" 0.0 report.Potential.final_potential
+
+let invariant_on_adaptive_runs () =
+  (* The substantive check: along adaptive-adversary runs the per-round
+     constant stays within the proof's O(1/delta^{3/2}) regime. *)
+  let delta = 0.5 in
+  List.iter
+    (fun (r, d, dim) ->
+      let config = Config.make ~d_factor:d ~move_limit:1.0 ~delta () in
+      let rng = Prng.Stream.named ~name:"potential-adaptive" ~seed:(r + dim) in
+      let c =
+        Adversary.Adaptive.generate ~r ~rng ~dim ~t:200 config
+          Mobile_server.Mtc.algorithm
+      in
+      let run = Engine.run config Mobile_server.Mtc.algorithm
+          c.Construction.instance
+      in
+      let report =
+        Potential.check config ~r c.Construction.instance
+          ~alg_positions:run.Engine.positions
+          ~opt_positions:c.Construction.adversary_positions
+      in
+      let bound = 264.0 /. Float.pow delta 1.5 in
+      if report.Potential.min_constant > bound then
+        Alcotest.failf "K = %g exceeds %g (r=%d, D=%g, dim=%d)"
+          report.Potential.min_constant bound r d dim;
+      if report.Potential.max_zero_opt_excess > 1e-6 then
+        Alcotest.failf "zero-OPT excess %g (r=%d, D=%g, dim=%d)"
+          report.Potential.max_zero_opt_excess r d dim)
+    [ (4, 2.0, 1); (4, 2.0, 2); (1, 4.0, 1); (1, 4.0, 2); (8, 8.0, 2) ]
+
+let invariant_on_thm2_runs () =
+  (* Same check on the oblivious Theorem-2 adversary. *)
+  let delta = 0.25 in
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta () in
+  let rng = Prng.Stream.named ~name:"potential-thm2" ~seed:3 in
+  let c =
+    Adversary.Thm2.generate ~cycles:2 ~dim:1 ~r_min:3 ~r_max:3 config rng
+  in
+  let run =
+    Engine.run config Mobile_server.Mtc.algorithm c.Construction.instance
+  in
+  let report =
+    Potential.check config ~r:3 c.Construction.instance
+      ~alg_positions:run.Engine.positions
+      ~opt_positions:c.Construction.adversary_positions
+  in
+  let bound = 264.0 /. delta +. 10.0 in
+  if report.Potential.min_constant > bound then
+    Alcotest.failf "K = %g exceeds %g" report.Potential.min_constant bound
+
+let moving_client_invariant () =
+  (* Theorem 10's potential along a slow-agent run, against the convex
+     optimum; the proof's per-round constant is 36. *)
+  let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.0 () in
+  let rng = Prng.Stream.named ~name:"potential-mc" ~seed:5 in
+  let inst =
+    Workloads.Random_walk.generate ~clients:1 ~sigma:0.2 ~dim:2 ~t:150 rng
+  in
+  let run = Engine.run config Mobile_server.Mtc.algorithm inst in
+  let opt = Offline.Convex_opt.solve ~max_iter:150 config inst in
+  let report =
+    Potential.check_moving_client config inst
+      ~alg_positions:run.Engine.positions
+      ~opt_positions:opt.Offline.Convex_opt.positions
+  in
+  if report.Potential.min_constant > 36.0 then
+    Alcotest.failf "K = %g exceeds the Theorem 10 constant 36"
+      report.Potential.min_constant;
+  if report.Potential.max_zero_opt_excess > 1e-6 then
+    Alcotest.failf "zero-OPT excess %g" report.Potential.max_zero_opt_excess
+
+let moving_client_rejects_multi_request () =
+  let config = Config.make () in
+  let inst =
+    Instance.make ~start:(Vec.zero 1) [| [| Vec.make1 0.0; Vec.make1 1.0 |] |]
+  in
+  Alcotest.check_raises "multi-request"
+    (Invalid_argument
+       "Potential.check_moving_client: instance is not a moving-client input")
+    (fun () ->
+      ignore
+        (Potential.check_moving_client config inst
+           ~alg_positions:[| Vec.zero 1 |] ~opt_positions:[| Vec.zero 1 |]))
+
+let phi_moving_client_formula () =
+  let config = Config.make ~d_factor:3.0 () in
+  check_float "2^1.5·D·d"
+    (Float.pow 2.0 1.5 *. 3.0 *. 5.0)
+    (Potential.phi_moving_client config ~opt:(Vec.make1 0.0)
+       ~alg:(Vec.make1 5.0))
+
+let final_potential_nonnegative () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let rng = Prng.Stream.named ~name:"potential-final" ~seed:4 in
+  let inst =
+    Workloads.Clusters.generate ~r_min:2 ~r_max:2 ~dim:1 ~t:60 rng
+  in
+  let run = Engine.run config Mobile_server.Mtc.algorithm inst in
+  let opt = Offline.Line_dp.solve config inst in
+  let report =
+    Potential.check config ~r:2 inst ~alg_positions:run.Engine.positions
+      ~opt_positions:opt.Offline.Line_dp.positions
+  in
+  if report.Potential.final_potential < 0.0 then
+    Alcotest.fail "potential went negative"
+
+(* --- Lemma 6 as a property ------------------------------------------ *)
+
+let qcheck_lemma6 =
+  QCheck.Test.make ~count:2000 ~name:"Lemma 6 geometric inequality"
+    QCheck.(
+      quad (float_range 0.05 1.0) (* delta *)
+        (float_range 0.1 10.0) (* a1 *)
+        (float_range 0.01 10.0) (* a2 *)
+        (pair (float_range 0. 1.) (float_range 0. 6.2831853)))
+    (fun (delta, a1, a2, (s2_frac, theta)) ->
+      (* Canonical layout: c at the origin, the alg moves along -x. *)
+      let c = Vec.zero 2 in
+      let p_alg = Vec.make2 (a1 +. a2) 0.0 in
+      let p_alg' = Vec.make2 a2 0.0 in
+      let s2 = s2_frac *. (sqrt delta /. (1.0 +. (delta /. 2.0))) *. a2 in
+      let p_opt' = Vec.make2 (s2 *. cos theta) (s2 *. sin theta) in
+      let h = Vec.dist p_opt' p_alg in
+      let q = Vec.dist p_opt' p_alg' in
+      ignore c;
+      h -. q +. 1e-9 >= (1.0 +. (delta /. 2.0)) /. (1.0 +. delta) *. a1)
+
+let () =
+  Alcotest.run "potential"
+    [
+      ( "phi",
+        [
+          Alcotest.test_case "zero at colocation" `Quick phi_zero_at_colocation;
+          Alcotest.test_case "linear branch" `Quick phi_linear_branch;
+          Alcotest.test_case "quadratic branch" `Quick phi_quadratic_branch;
+          Alcotest.test_case "low-request doubles" `Quick phi_low_request_doubles;
+          Alcotest.test_case "requires delta" `Quick phi_requires_delta;
+          Alcotest.test_case "requires r >= 1" `Quick phi_requires_positive_r;
+          Alcotest.test_case "threshold sane" `Quick phi_continuous_at_threshold;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "length mismatch" `Quick check_length_mismatch;
+          Alcotest.test_case "stationary" `Quick check_stationary_everything;
+          Alcotest.test_case "adaptive runs" `Quick invariant_on_adaptive_runs;
+          Alcotest.test_case "thm2 runs" `Quick invariant_on_thm2_runs;
+          Alcotest.test_case "final potential >= 0" `Quick
+            final_potential_nonnegative;
+          Alcotest.test_case "moving-client invariant" `Quick
+            moving_client_invariant;
+          Alcotest.test_case "moving-client rejects multi" `Quick
+            moving_client_rejects_multi_request;
+          Alcotest.test_case "moving-client phi" `Quick
+            phi_moving_client_formula;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_lemma6 ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the plain-text instance/trajectory serialization. *)
+
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+module Serialize = Mobile_server.Serialize
+module Engine = Mobile_server.Engine
+module Config = Mobile_server.Config
+
+let sample_instance () =
+  Instance.make ~start:(Vec.make2 1.0 (-2.0))
+    [|
+      [| Vec.make2 0.5 0.25; Vec.make2 (-3.0) 4.0 |];
+      [||];
+      [| Vec.make2 1e-9 1e9 |];
+    |]
+
+let instances_equal a b =
+  Instance.length a = Instance.length b
+  && Vec.equal a.Instance.start b.Instance.start
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb && Array.for_all2 Vec.equal ra rb)
+       a.Instance.steps b.Instance.steps
+
+let round_trip () =
+  let inst = sample_instance () in
+  match Serialize.instance_of_string (Serialize.instance_to_string inst) with
+  | Ok inst' ->
+    Alcotest.(check bool) "round trip preserves everything" true
+      (instances_equal inst inst')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let round_trip_exact_floats () =
+  (* %.17g must preserve doubles bit-for-bit. *)
+  let tricky = 0.1 +. 0.2 in
+  let inst = Instance.make ~start:[| tricky |] [| [| [| Float.pi |] |] |] in
+  match Serialize.instance_of_string (Serialize.instance_to_string inst) with
+  | Ok inst' ->
+    Alcotest.(check bool) "bits preserved" true
+      (inst'.Instance.start.(0) = tricky
+       && inst'.Instance.steps.(0).(0).(0) = Float.pi)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let file_round_trip () =
+  let inst = sample_instance () in
+  let path = Filename.temp_file "msp" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.instance_to_file path inst;
+      match Serialize.instance_of_file path with
+      | Ok inst' ->
+        Alcotest.(check bool) "file round trip" true
+          (instances_equal inst inst')
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+
+let missing_file_is_error () =
+  match Serialize.instance_of_file "/nonexistent/path.inst" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let parse_errors_have_line_numbers () =
+  let check_error text expected_fragment =
+    match Serialize.instance_of_string text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error msg ->
+      if not (contains ~needle:expected_fragment msg) then
+        Alcotest.failf "error %S does not mention %S" msg expected_fragment
+  in
+  check_error "wrong header\n" "expected header";
+  check_error
+    "# mobile-server-instance v1\ndim 1\nrounds 1\nstart 0\nreq 5 1\n"
+    "out of range";
+  check_error
+    "# mobile-server-instance v1\ndim 2\nrounds 1\nstart 0 0\nreq 0 1\n"
+    "wrong dimension";
+  check_error "# mobile-server-instance v1\ndim 1\nstart 0\n" "missing 'rounds'";
+  check_error
+    "# mobile-server-instance v1\ndim 1\nrounds 1\nstart 0\nreq 0 abc\n"
+    "malformed number"
+
+let trajectory_round_trip () =
+  let start = Vec.make2 0.0 0.0 in
+  let positions = [| Vec.make2 1.0 0.5; Vec.make2 2.0 1.0 |] in
+  match
+    Serialize.trajectory_of_string
+      (Serialize.trajectory_to_string ~start positions)
+  with
+  | Ok (start', positions') ->
+    Alcotest.(check bool) "start" true (Vec.equal start start');
+    Alcotest.(check bool) "positions" true
+      (Array.for_all2 Vec.equal positions positions')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let trajectory_missing_round () =
+  let text =
+    "# mobile-server-trajectory v1\ndim 1\nrounds 2\nstart 0\npos 0 1\n"
+  in
+  match Serialize.trajectory_of_string text with
+  | Ok _ -> Alcotest.fail "expected missing-round error"
+  | Error msg ->
+    Alcotest.(check bool) "mentions the round" true
+      (String.length msg > 0)
+
+let run_to_csv_shape () =
+  let inst = sample_instance () in
+  let config = Config.make ~d_factor:2.0 () in
+  let run = Engine.run config Mobile_server.Mtc.algorithm inst in
+  let csv = Serialize.run_to_csv run inst in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* Header + one line per round. *)
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  match lines with
+  | header :: _ ->
+    Alcotest.(check string) "header"
+      "round,requests,move_cost,service_cost,x1,x2" header
+  | [] -> Alcotest.fail "empty csv"
+
+let run_to_csv_validates () =
+  let inst = sample_instance () in
+  let other = Instance.make ~start:(Vec.make2 0.0 0.0) [| [||] |] in
+  let config = Config.make () in
+  let run = Engine.run config Mobile_server.Mtc.algorithm inst in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Serialize.run_to_csv: run does not match instance")
+    (fun () -> ignore (Serialize.run_to_csv run other))
+
+(* Replay equivalence: a deserialized instance produces the same costs. *)
+let replay_equivalence () =
+  let rng = Prng.Stream.named ~name:"ser-replay" ~seed:17 in
+  let inst = Workloads.Clusters.generate ~dim:2 ~t:40 rng in
+  let config = Config.make ~d_factor:3.0 ~delta:0.25 () in
+  match Serialize.instance_of_string (Serialize.instance_to_string inst) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok inst' ->
+    Alcotest.(check (float 1e-12)) "same cost after round trip"
+      (Engine.total_cost config Mobile_server.Mtc.algorithm inst)
+      (Engine.total_cost config Mobile_server.Mtc.algorithm inst')
+
+(* --- QCheck fuzzing --------------------------------------------------- *)
+
+let qcheck_round_trip_fuzz =
+  QCheck.Test.make ~count:100 ~name:"round trip on random instances"
+    QCheck.(
+      pair (int_range 1 3)
+        (list_of_size (QCheck.Gen.int_range 1 10)
+           (list_of_size (QCheck.Gen.int_range 0 4)
+              (float_range (-1e6) 1e6))))
+    (fun (dim, rows) ->
+      let point x =
+        Array.init dim (fun i -> x +. float_of_int i)
+      in
+      let inst =
+        Instance.make ~start:(Vec.zero dim)
+          (Array.of_list
+             (List.map
+                (fun row -> Array.of_list (List.map point row))
+                rows))
+      in
+      match
+        Serialize.instance_of_string (Serialize.instance_to_string inst)
+      with
+      | Ok inst' -> instances_equal inst inst'
+      | Error _ -> false)
+
+let qcheck_garbage_never_crashes =
+  QCheck.Test.make ~count:200 ~name:"parser is total on garbage"
+    QCheck.printable_string
+    (fun text ->
+      match Serialize.instance_of_string text with
+      | Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "serialize"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "round trip" `Quick round_trip;
+          Alcotest.test_case "exact floats" `Quick round_trip_exact_floats;
+          Alcotest.test_case "file round trip" `Quick file_round_trip;
+          Alcotest.test_case "missing file" `Quick missing_file_is_error;
+          Alcotest.test_case "parse errors" `Quick parse_errors_have_line_numbers;
+          Alcotest.test_case "replay equivalence" `Quick replay_equivalence;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "round trip" `Quick trajectory_round_trip;
+          Alcotest.test_case "missing round" `Quick trajectory_missing_round;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "shape" `Quick run_to_csv_shape;
+          Alcotest.test_case "validates" `Quick run_to_csv_validates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_round_trip_fuzz; qcheck_garbage_never_crashes ] );
+    ]

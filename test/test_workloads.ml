@@ -1,0 +1,345 @@
+(* Tests for the synthetic workload generators. *)
+
+module Vec = Geometry.Vec
+module Instance = Mobile_server.Instance
+
+let rng_of seed = Prng.Stream.named ~name:"workloads-test" ~seed
+
+(* --- Random walk --------------------------------------------------- *)
+
+let random_walk_shape () =
+  let inst = Workloads.Random_walk.generate ~clients:3 ~dim:2 ~t:40 (rng_of 1) in
+  Alcotest.(check int) "length" 40 (Instance.length inst);
+  Alcotest.(check int) "dim" 2 (Instance.dim inst);
+  Alcotest.(check (pair int int)) "3 per round" (3, 3)
+    (Instance.request_bounds inst)
+
+let random_walk_speed_bound () =
+  let sigma = 0.2 in
+  let inst =
+    Workloads.Random_walk.generate ~clients:1 ~sigma ~dim:2 ~t:200 (rng_of 2)
+  in
+  let speed = Workloads.Random_walk.speed_bound ~dim:2 ~sigma in
+  Alcotest.(check bool) "moving client within bound" true
+    (Instance.is_moving_client ~speed inst)
+
+let random_walk_validation () =
+  Alcotest.check_raises "clients < 1"
+    (Invalid_argument "Random_walk.generate: clients < 1") (fun () ->
+      ignore (Workloads.Random_walk.generate ~clients:0 ~dim:1 ~t:5 (rng_of 1)))
+
+(* --- Clusters ------------------------------------------------------ *)
+
+let clusters_request_bounds () =
+  let inst =
+    Workloads.Clusters.generate ~r_min:2 ~r_max:5 ~dim:2 ~t:200 (rng_of 3)
+  in
+  let lo, hi = Instance.request_bounds inst in
+  if lo < 2 || hi > 5 then
+    Alcotest.failf "request bounds [%d, %d] outside [2, 5]" lo hi;
+  Alcotest.(check int) "length" 200 (Instance.length inst)
+
+let clusters_validation () =
+  Alcotest.check_raises "bad r"
+    (Invalid_argument "Clusters.generate: need 1 <= r_min <= r_max")
+    (fun () ->
+      ignore (Workloads.Clusters.generate ~r_min:3 ~r_max:2 ~dim:1 ~t:5 (rng_of 1)));
+  Alcotest.check_raises "bad switch"
+    (Invalid_argument "Clusters.generate: switch_prob outside [0, 1]")
+    (fun () ->
+      ignore
+        (Workloads.Clusters.generate ~switch_prob:2.0 ~dim:1 ~t:5 (rng_of 1)))
+
+let clusters_drift_moves_centers () =
+  (* With pure drift (no switching, tiny sigma) the request cloud must
+     travel. *)
+  let inst =
+    Workloads.Clusters.generate ~r_min:1 ~r_max:1 ~sigma:0.01 ~drift:1.0
+      ~switch_prob:0.0 ~dim:2 ~t:100 (rng_of 4)
+  in
+  let first = inst.Instance.steps.(0).(0) in
+  let last = inst.Instance.steps.(99).(0) in
+  if Vec.dist first last < 50.0 then
+    Alcotest.failf "drift too small: %g" (Vec.dist first last)
+
+(* --- Bursts -------------------------------------------------------- *)
+
+let bursts_counts () =
+  let inst =
+    Workloads.Bursts.generate ~base_rate:1.0 ~burst_prob:0.05 ~burst_len:5
+      ~burst_size:7 ~dim:2 ~t:400 (rng_of 5)
+  in
+  Alcotest.(check int) "length" 400 (Instance.length inst);
+  (* Every non-empty round has either burst_size or a small count. *)
+  Array.iter
+    (fun round ->
+      let r = Array.length round in
+      if r > 7 && r <> 7 then Alcotest.failf "unexpected round size %d" r)
+    inst.Instance.steps
+
+let bursts_has_bursts_and_lulls () =
+  let inst =
+    Workloads.Bursts.generate ~base_rate:0.5 ~burst_prob:0.05 ~burst_len:5
+      ~burst_size:9 ~dim:1 ~t:600 (rng_of 6)
+  in
+  let burst_rounds =
+    Array.fold_left
+      (fun acc round -> if Array.length round = 9 then acc + 1 else acc)
+      0 inst.Instance.steps
+  in
+  let empty_rounds =
+    Array.fold_left
+      (fun acc round -> if Array.length round = 0 then acc + 1 else acc)
+      0 inst.Instance.steps
+  in
+  if burst_rounds = 0 then Alcotest.fail "no bursts generated";
+  if empty_rounds = 0 then Alcotest.fail "no lulls generated"
+
+let bursts_validation () =
+  Alcotest.check_raises "bad prob"
+    (Invalid_argument "Bursts.generate: burst_prob outside [0, 1]") (fun () ->
+      ignore (Workloads.Bursts.generate ~burst_prob:(-0.1) ~dim:1 ~t:5 (rng_of 1)))
+
+(* --- Commuter ------------------------------------------------------ *)
+
+let commuter_moving_client () =
+  let speed = 1.0 in
+  let inst =
+    Workloads.Commuter.generate ~agent_speed:speed ~dim:2 ~t:300 (rng_of 7)
+  in
+  Alcotest.(check bool) "legal moving client" true
+    (Instance.is_moving_client ~speed inst)
+
+let commuter_visits_both_anchors () =
+  let inst =
+    Workloads.Commuter.generate ~agent_speed:1.0 ~separation:10.0 ~dwell:3
+      ~jitter:0.0 ~dim:1 ~t:100 (rng_of 8)
+  in
+  let near target =
+    Array.exists
+      (fun round -> Float.abs (round.(0).(0) -. target) < 1.0)
+      inst.Instance.steps
+  in
+  Alcotest.(check bool) "reaches work" true (near 10.0);
+  Alcotest.(check bool) "returns home" true (near 0.0)
+
+let commuter_validation () =
+  Alcotest.check_raises "jitter >= speed"
+    (Invalid_argument "Commuter.generate: jitter must be below agent_speed")
+    (fun () ->
+      ignore
+        (Workloads.Commuter.generate ~agent_speed:1.0 ~jitter:1.0 ~dim:1 ~t:5
+           (rng_of 1)))
+
+(* --- Cars ---------------------------------------------------------- *)
+
+let cars_shape () =
+  let inst = Workloads.Cars.generate ~cars:4 ~dim:2 ~t:100 (rng_of 9) in
+  Alcotest.(check (pair int int)) "4 per round" (4, 4)
+    (Instance.request_bounds inst)
+
+let cars_platoon_advances () =
+  let inst =
+    Workloads.Cars.generate ~cars:2 ~platoon_speed:1.0 ~jitter:0.0
+      ~phase_change:0.0 ~dim:2 ~t:50 (rng_of 10)
+  in
+  let x_at t = inst.Instance.steps.(t).(0).(0) in
+  if x_at 49 <= x_at 0 then Alcotest.fail "platoon did not advance"
+
+let cars_1d_supported () =
+  let inst = Workloads.Cars.generate ~cars:3 ~dim:1 ~t:20 (rng_of 11) in
+  Alcotest.(check int) "dim 1" 1 (Instance.dim inst)
+
+(* --- Disaster ------------------------------------------------------ *)
+
+let disaster_shape () =
+  let inst = Workloads.Disaster.generate ~helpers:5 ~dim:2 ~t:80 (rng_of 12) in
+  Alcotest.(check (pair int int)) "5 per round" (5, 5)
+    (Instance.request_bounds inst)
+
+let disaster_single_moving_client () =
+  let inst =
+    Workloads.Disaster.generate_single ~helper_speed:0.8 ~zone_drift:0.05
+      ~dim:2 ~t:300 (rng_of 13)
+  in
+  Alcotest.(check bool) "legal moving client" true
+    (Instance.is_moving_client ~speed:(0.8 +. 0.05) inst)
+
+let disaster_helpers_stay_near_zone () =
+  let radius = 5.0 in
+  let inst =
+    Workloads.Disaster.generate ~helpers:3 ~zone_radius:radius
+      ~zone_drift:0.0 ~helper_speed:0.5 ~dim:2 ~t:200 (rng_of 14)
+  in
+  (* With a static zone centered at the origin, helpers never escape
+     radius + one step. *)
+  Array.iter
+    (Array.iter (fun p ->
+         if Vec.norm p > radius +. 0.5 +. 1e-6 then
+           Alcotest.failf "helper escaped the zone: %s" (Vec.to_string p)))
+    inst.Instance.steps
+
+let disaster_validation () =
+  Alcotest.check_raises "speed > radius"
+    (Invalid_argument "Disaster: helper_speed must not exceed zone_radius")
+    (fun () ->
+      ignore
+        (Workloads.Disaster.generate ~zone_radius:1.0 ~helper_speed:2.0
+           ~dim:2 ~t:5 (rng_of 1)))
+
+(* --- Popular content ------------------------------------------------ *)
+
+let popular_content_shape () =
+  let inst =
+    Workloads.Popular_content.generate ~consumers:10 ~requests_per_round:3
+      ~dim:2 ~t:80 (rng_of 15)
+  in
+  Alcotest.(check (pair int int)) "3 per round" (3, 3)
+    (Instance.request_bounds inst);
+  Alcotest.(check int) "length" 80 (Instance.length inst)
+
+let popular_content_finite_support () =
+  (* Every request must be one of the fixed consumer locations: with 5
+     consumers and many rounds there are at most 5 distinct points. *)
+  let inst =
+    Workloads.Popular_content.generate ~consumers:5 ~reshuffle_prob:0.2
+      ~dim:2 ~t:200 (rng_of 16)
+  in
+  let distinct = ref [] in
+  Array.iter
+    (Array.iter (fun v ->
+         if not (List.exists (fun u -> Vec.equal u v) !distinct) then
+           distinct := v :: !distinct))
+    inst.Instance.steps;
+  if List.length !distinct > 5 then
+    Alcotest.failf "%d distinct request points for 5 consumers"
+      (List.length !distinct)
+
+let popular_content_skew () =
+  (* With a strong skew the top location should dominate. *)
+  let inst =
+    Workloads.Popular_content.generate ~consumers:10 ~s:2.5
+      ~reshuffle_prob:0.0 ~requests_per_round:1 ~dim:1 ~t:500 (rng_of 17)
+  in
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (Array.iter (fun v ->
+         let key = v.(0) in
+         Hashtbl.replace counts key
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))))
+    inst.Instance.steps;
+  let top = Hashtbl.fold (fun _ c acc -> Stdlib.max c acc) counts 0 in
+  if top < 250 then
+    Alcotest.failf "top location only %d/500 requests under s = 2.5" top
+
+let popular_content_validates () =
+  Alcotest.check_raises "bad consumers"
+    (Invalid_argument "Popular_content.generate: consumers < 1") (fun () ->
+      ignore
+        (Workloads.Popular_content.generate ~consumers:0 ~dim:1 ~t:5
+           (rng_of 1)))
+
+(* --- Determinism across all generators ----------------------------- *)
+
+let generators_deterministic () =
+  let families =
+    [
+      ("random-walk",
+       fun seed -> Workloads.Random_walk.generate ~dim:2 ~t:30 (rng_of seed));
+      ("clusters",
+       fun seed -> Workloads.Clusters.generate ~dim:2 ~t:30 (rng_of seed));
+      ("bursts", fun seed -> Workloads.Bursts.generate ~dim:2 ~t:30 (rng_of seed));
+      ("commuter",
+       fun seed -> Workloads.Commuter.generate ~dim:2 ~t:30 (rng_of seed));
+      ("cars", fun seed -> Workloads.Cars.generate ~dim:2 ~t:30 (rng_of seed));
+      ("disaster",
+       fun seed -> Workloads.Disaster.generate ~dim:2 ~t:30 (rng_of seed));
+      ("hotspots",
+       fun seed -> Workloads.Hotspots.generate ~dim:2 ~t:30 (rng_of seed));
+      ("zipf-content",
+       fun seed ->
+         Workloads.Popular_content.generate ~dim:2 ~t:30 (rng_of seed));
+    ]
+  in
+  List.iter
+    (fun (name, gen) ->
+      let a = gen 7 and b = gen 7 in
+      let config = Mobile_server.Config.make () in
+      let ca =
+        Mobile_server.Engine.total_cost config Mobile_server.Mtc.algorithm a
+      in
+      let cb =
+        Mobile_server.Engine.total_cost config Mobile_server.Mtc.algorithm b
+      in
+      Alcotest.(check (float 1e-12)) (name ^ " deterministic") ca cb)
+    families
+
+(* --- QCheck -------------------------------------------------------- *)
+
+let qcheck_commuter_any_speed_legal =
+  QCheck.Test.make ~count:30 ~name:"commuter legal at any speed"
+    QCheck.(pair (int_range 1 1000) (float_range 0.2 3.0))
+    (fun (seed, speed) ->
+      let inst =
+        Workloads.Commuter.generate ~agent_speed:speed ~dim:2 ~t:60
+          (rng_of seed)
+      in
+      Instance.is_moving_client ~speed inst)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "random-walk",
+        [
+          Alcotest.test_case "shape" `Quick random_walk_shape;
+          Alcotest.test_case "speed bound" `Quick random_walk_speed_bound;
+          Alcotest.test_case "validation" `Quick random_walk_validation;
+        ] );
+      ( "clusters",
+        [
+          Alcotest.test_case "request bounds" `Quick clusters_request_bounds;
+          Alcotest.test_case "validation" `Quick clusters_validation;
+          Alcotest.test_case "drift" `Quick clusters_drift_moves_centers;
+        ] );
+      ( "bursts",
+        [
+          Alcotest.test_case "counts" `Quick bursts_counts;
+          Alcotest.test_case "bursts and lulls" `Quick bursts_has_bursts_and_lulls;
+          Alcotest.test_case "validation" `Quick bursts_validation;
+        ] );
+      ( "commuter",
+        [
+          Alcotest.test_case "moving client" `Quick commuter_moving_client;
+          Alcotest.test_case "visits both anchors" `Quick
+            commuter_visits_both_anchors;
+          Alcotest.test_case "validation" `Quick commuter_validation;
+        ] );
+      ( "cars",
+        [
+          Alcotest.test_case "shape" `Quick cars_shape;
+          Alcotest.test_case "platoon advances" `Quick cars_platoon_advances;
+          Alcotest.test_case "1-D supported" `Quick cars_1d_supported;
+        ] );
+      ( "disaster",
+        [
+          Alcotest.test_case "shape" `Quick disaster_shape;
+          Alcotest.test_case "single moving client" `Quick
+            disaster_single_moving_client;
+          Alcotest.test_case "helpers stay in zone" `Quick
+            disaster_helpers_stay_near_zone;
+          Alcotest.test_case "validation" `Quick disaster_validation;
+        ] );
+      ( "popular-content",
+        [
+          Alcotest.test_case "shape" `Quick popular_content_shape;
+          Alcotest.test_case "finite support" `Quick
+            popular_content_finite_support;
+          Alcotest.test_case "skew" `Quick popular_content_skew;
+          Alcotest.test_case "validates" `Quick popular_content_validates;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "all generators" `Quick generators_deterministic ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_commuter_any_speed_legal ] );
+    ]
