@@ -5,6 +5,8 @@
      msp run ...                   one algorithm on one workload
      msp compare ...               every algorithm on one workload
      msp plot ...                  terminal chart of a 1-D run vs the optimum
+     msp audit ...                 run one algorithm under the invariant
+                                   auditor (feasibility, NaN, determinism)
      msp experiment <id> ...       a catalog experiment (e1..e10, t1, a1..a2,
                                    x1, b1)
 
@@ -267,6 +269,52 @@ let plot_cmd =
     Term.(term_result
             (const action $ verbose $ config_term $ workload $ rounds $ seed))
 
+(* --- audit ----------------------------------------------------------- *)
+
+let audit_cmd =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with an error if any invariant violation is found.")
+  in
+  let no_determinism =
+    Arg.(value & flag
+         & info [ "no-determinism" ]
+             ~doc:"Skip the seed-replay determinism check (saves a second \
+                   run on long instances).")
+  in
+  let action () config name wname dim t seed strict no_determinism =
+    match Baselines.Registry.find ~dim name with
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" name))
+    | Some alg ->
+      Result.bind (build_workload ~name:wname ~dim ~t ~seed config)
+        (fun inst ->
+          let report, run =
+            Analysis.Audit.run ~seed ~check_determinism:(not no_determinism)
+              config alg inst
+          in
+          Format.printf "instance : %a@." MS.Instance.pp inst;
+          Format.printf "model    : %a@." MS.Config.pp config;
+          Format.printf "%a@." Analysis.Report.pp report;
+          Format.printf "cost     : %.4f (movement %.4f + service %.4f)@."
+            (MS.Cost.total run.MS.Engine.cost)
+            run.MS.Engine.cost.MS.Cost.move run.MS.Engine.cost.MS.Cost.service;
+          if strict && not (Analysis.Report.ok report) then
+            Error
+              (`Msg
+                 (Printf.sprintf "audit failed: %d violation(s)"
+                    (List.length report.Analysis.Report.violations)))
+          else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run one algorithm under the runtime invariant auditor: \
+             proposed-move feasibility, NaN/cost sanity, dimension \
+             consistency and seed-replay determinism.")
+    Term.(term_result
+            (const action $ verbose $ config_term $ algorithm_name
+             $ workload $ dim $ rounds $ seed $ strict $ no_determinism))
+
 (* --- experiment ----------------------------------------------------- *)
 
 let experiment_cmd =
@@ -299,4 +347,8 @@ let () =
     Cmd.info "msp" ~version:"1.0.0"
       ~doc:"The Mobile Server Problem (SPAA 2017) — reproduction toolkit."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; plot_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; plot_cmd; audit_cmd;
+            experiment_cmd ]))

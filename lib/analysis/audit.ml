@@ -1,0 +1,150 @@
+module Vec = Geometry.Vec
+module Algorithm = Mobile_server.Algorithm
+module Config = Mobile_server.Config
+module Cost = Mobile_server.Cost
+module Engine = Mobile_server.Engine
+module Instance = Mobile_server.Instance
+
+exception Violation of Report.violation
+
+type recorder = {
+  mutable rev_violations : Report.violation list;
+  mutable fail_fast : bool;
+}
+
+let recorder () = { rev_violations = []; fail_fast = false }
+
+let record recorder round kind =
+  let v = { Report.round; kind } in
+  if recorder.fail_fast then raise (Violation v);
+  recorder.rev_violations <- v :: recorder.rev_violations
+
+let violations recorder = List.rev recorder.rev_violations
+
+let is_finite_vec v = Array.for_all Float.is_finite v
+
+let wrap ?(eps = 1e-9) ?(fail_fast = false) recorder (alg : Algorithm.t) =
+  recorder.fail_fast <- fail_fast;
+  let make ?rng config ~start =
+    let stepper = alg.Algorithm.make ?rng config ~start in
+    let limit = Config.online_limit config in
+    let slack = limit +. (eps *. Float.max 1.0 limit) in
+    let dim = Vec.dim start in
+    let pos = ref (Vec.copy start) in
+    let round = ref 0 in
+    fun requests ->
+      (match
+         Array.find_opt (fun r -> Vec.dim r <> dim) requests
+       with
+      | Some r ->
+        record recorder !round
+          (Report.Dimension_mismatch { expected = dim; got = Vec.dim r })
+      | None -> ());
+      let proposed = stepper requests in
+      let usable =
+        if Vec.dim proposed <> dim then begin
+          record recorder !round
+            (Report.Dimension_mismatch { expected = dim; got = Vec.dim proposed });
+          false
+        end
+        else if not (is_finite_vec proposed) then begin
+          record recorder !round Report.Non_finite_proposal;
+          false
+        end
+        else begin
+          let d = Vec.dist !pos proposed in
+          if d > slack then
+            record recorder !round
+              (Report.Clamped_proposal { distance = d; limit });
+          true
+        end
+      in
+      (* Mirror the engine's position bookkeeping so feasibility is
+         measured from where the server actually stands, not from where
+         a buggy proposal pretended to put it. *)
+      if usable then pos := Vec.clamp_step ~from:!pos limit proposed;
+      incr round;
+      proposed
+  in
+  { Algorithm.name = alg.Algorithm.name; make }
+
+let trajectory_divergence a b =
+  (* First (round, coordinate) where two same-seed replays disagree.
+     Float.equal treats NaN as equal to itself, so a deterministic
+     NaN-producing algorithm does not count as nondeterministic. *)
+  let diverged = ref None in
+  (try
+     Array.iteri
+       (fun t p ->
+         let q = b.(t) in
+         if Vec.dim p <> Vec.dim q then begin
+           diverged := Some (t, -1);
+           raise Exit
+         end;
+         Array.iteri
+           (fun i x ->
+             if not (Float.equal x q.(i)) then begin
+               diverged := Some (t, i);
+               raise Exit
+             end)
+           p)
+       a
+   with Exit -> ());
+  !diverged
+
+let run ?(seed = 0) ?eps ?(check_determinism = true) config alg inst =
+  let recorder = recorder () in
+  let wrapped = wrap ?eps recorder alg in
+  let fresh_rng () = Prng.Stream.named ~name:"audit" ~seed in
+  let t_len = Instance.length inst in
+  let positions = Array.make t_len inst.Instance.start in
+  let total = ref Cost.zero in
+  let clamped = ref 0 in
+  let rev_post = ref [] in
+  let post round kind = rev_post := { Report.round; kind } :: !rev_post in
+  Engine.iter ~rng:(fresh_rng ()) config wrapped inst
+    (fun { Engine.round; position; clamped = c; cost; _ } ->
+      positions.(round) <- position;
+      total := Cost.add !total cost;
+      if c then incr clamped;
+      if not (is_finite_vec position) then post round Report.Non_finite_position;
+      if
+        not
+          (Float.is_finite cost.Cost.move && Float.is_finite cost.Cost.service)
+      then post round Report.Non_finite_cost
+      else if cost.Cost.move < 0.0 || cost.Cost.service < 0.0 then
+        post round Report.Negative_cost);
+  let engine_run =
+    {
+      Engine.algorithm = alg.Algorithm.name;
+      config;
+      positions;
+      cost = !total;
+      clamped = !clamped;
+    }
+  in
+  let determinism =
+    if not check_determinism then []
+    else begin
+      let replay = Engine.run ~rng:(fresh_rng ()) config alg inst in
+      match trajectory_divergence positions replay.Engine.positions with
+      | None -> []
+      | Some (round, coord) ->
+        [ { Report.round; kind = Report.Nondeterministic { coord } } ]
+    end
+  in
+  let all =
+    List.stable_sort
+      (fun a b -> Int.compare a.Report.round b.Report.round)
+      (violations recorder @ List.rev !rev_post @ determinism)
+  in
+  let report =
+    {
+      Report.algorithm = alg.Algorithm.name;
+      rounds = t_len;
+      clamped = !clamped;
+      determinism_checked = check_determinism;
+      violations = all;
+    }
+  in
+  (report, engine_run)

@@ -1,5 +1,3 @@
-module Vec = Geometry.Vec
-
 let algorithm =
   Mobile_server.Algorithm.of_policy ~name:"greedy"
     (fun _config ~server requests ->

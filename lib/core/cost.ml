@@ -40,7 +40,10 @@ let feasible ?(tol = 1e-9) ~limit ~start positions =
   let prev = ref start in
   Array.iter
     (fun p ->
-      if Vec.dist !prev p > slack then ok := false;
+      (* A NaN distance compares false against any slack, so an explicit
+         finiteness test is required to reject garbage trajectories. *)
+      let d = Vec.dist !prev p in
+      if (not (Float.is_finite d)) || d > slack then ok := false;
       prev := p)
     positions;
   !ok

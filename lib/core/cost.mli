@@ -45,4 +45,7 @@ val feasible :
   Geometry.Vec.t array -> bool
 (** [feasible ~limit ~start positions] checks that every consecutive
     move (including [start] to [positions.(0)]) is at most [limit],
-    within relative tolerance [tol] (default 1e-9). *)
+    within relative tolerance [tol] (default 1e-9).  A non-finite step
+    distance (NaN or infinite coordinates anywhere in the trajectory)
+    is infeasible: garbage positions can never pass as a legal
+    trajectory. *)

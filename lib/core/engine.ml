@@ -1,13 +1,32 @@
 module Vec = Geometry.Vec
 
-type step_record = { round : int; position : Vec.t; cost : Cost.breakdown }
+type step_record = {
+  round : int;
+  position : Vec.t;
+  proposed : Vec.t;
+  clamped : bool;
+  cost : Cost.breakdown;
+}
 
 type run = {
   algorithm : string;
   config : Config.t;
   positions : Vec.t array;
   cost : Cost.breakdown;
+  clamped : int;
 }
+
+(* A proposal counts as clamped when it overshoots the online budget
+   beyond the same relative tolerance [Cost.feasible] uses — algorithms
+   that clamp themselves (e.g. via [Algorithm.of_policy]) land within a
+   few ulps of the budget and must not be counted.  A NaN distance
+   compares false, so a non-finite proposal is not counted as clamped —
+   it is a different violation, which the {!Analysis} auditor reports
+   separately. *)
+let clamp_tol = 1e-9
+
+let exceeds_limit ~from ~limit proposed =
+  Vec.dist from proposed > limit +. (clamp_tol *. Float.max 1.0 limit)
 
 let iter ?rng config (alg : Algorithm.t) (inst : Instance.t) f =
   let stepper = alg.make ?rng config ~start:inst.start in
@@ -16,20 +35,23 @@ let iter ?rng config (alg : Algorithm.t) (inst : Instance.t) f =
   Array.iteri
     (fun round requests ->
       let proposed = stepper requests in
+      let clamped = exceeds_limit ~from:!pos ~limit proposed in
       let next = Vec.clamp_step ~from:!pos limit proposed in
       let cost = Cost.step config ~from:!pos ~to_:next requests in
       pos := next;
-      f { round; position = next; cost })
+      f { round; position = next; proposed; clamped; cost })
     inst.steps
 
 let run ?rng config alg inst =
   let t_len = Instance.length inst in
   let positions = Array.make t_len inst.start in
   let total = ref Cost.zero in
-  iter ?rng config alg inst (fun { round; position; cost } ->
+  let clamped = ref 0 in
+  iter ?rng config alg inst (fun { round; position; clamped = c; cost; _ } ->
       positions.(round) <- position;
+      if c then incr clamped;
       total := Cost.add !total cost);
-  { algorithm = alg.name; config; positions; cost = !total }
+  { algorithm = alg.name; config; positions; cost = !total; clamped = !clamped }
 
 let total_cost ?rng config alg inst =
   let total = ref Cost.zero in
@@ -44,6 +66,7 @@ module Session = struct
     dim : int;
     mutable position : Vec.t;
     mutable rounds : int;
+    mutable clamped : int;
     mutable cost : Cost.breakdown;
   }
 
@@ -55,6 +78,7 @@ module Session = struct
       dim = Vec.dim start;
       position = Vec.copy start;
       rounds = 0;
+      clamped = 0;
       cost = Cost.zero;
     }
 
@@ -65,17 +89,23 @@ module Session = struct
           invalid_arg "Engine.Session.step: request dimension mismatch")
       requests;
     let proposed = session.stepper requests in
+    let clamped =
+      exceeds_limit ~from:session.position ~limit:session.limit proposed
+    in
     let next = Vec.clamp_step ~from:session.position session.limit proposed in
     let cost = Cost.step session.config ~from:session.position ~to_:next requests in
     session.position <- next;
     session.cost <- Cost.add session.cost cost;
-    let record = { round = session.rounds; position = next; cost } in
+    if clamped then session.clamped <- session.clamped + 1;
+    let record = { round = session.rounds; position = next; proposed; clamped; cost } in
     session.rounds <- session.rounds + 1;
     record
 
   let position session = Vec.copy session.position
 
   let rounds session = session.rounds
+
+  let clamped_count session = session.clamped
 
   let cost session = session.cost
 end

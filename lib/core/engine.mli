@@ -9,6 +9,14 @@
 type step_record = {
   round : int;  (** 0-based round index. *)
   position : Geometry.Vec.t;  (** Server position after the round. *)
+  proposed : Geometry.Vec.t;
+      (** The algorithm's raw answer for the round, {e before} the clamp
+          to the online budget.  Equal to [position] unless [clamped].
+          The {!Analysis} auditor hooks on this to check proposed-move
+          feasibility ahead of the safety net. *)
+  clamped : bool;
+      (** Whether the proposal exceeded the online budget and was cut
+          back.  A well-behaved algorithm is never clamped. *)
   cost : Cost.breakdown;  (** This round's cost. *)
 }
 
@@ -18,6 +26,10 @@ type run = {
   positions : Geometry.Vec.t array;
       (** Position after each round; length [T]. *)
   cost : Cost.breakdown;  (** Total cost over the run. *)
+  clamped : int;
+      (** Number of rounds whose proposal had to be clamped to the
+          online budget.  Zero for every algorithm that respects the
+          model; tests assert on this. *)
 }
 
 val run :
@@ -69,6 +81,9 @@ module Session : sig
 
   val rounds : t -> int
   (** Rounds played so far. *)
+
+  val clamped_count : t -> int
+  (** Rounds so far whose proposal was clamped to the online budget. *)
 
   val cost : t -> Cost.breakdown
   (** Total cost so far. *)

@@ -46,8 +46,17 @@ type parser_state = {
 let fail_line n msg = Error (Printf.sprintf "line %d: %s" n msg)
 
 let parse_floats n parts =
-  try Ok (Array.of_list (List.map float_of_string parts))
-  with Failure _ -> fail_line n "malformed number"
+  (* float_of_string would accept "nan"/"inf" and let garbage into cost
+     accounting; serialized instances must be finite. *)
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | p :: rest -> (
+      match float_of_string_opt p with
+      | Some f when Float.is_finite f -> go (f :: acc) rest
+      | Some _ -> fail_line n "non-finite number"
+      | None -> fail_line n "malformed number")
+  in
+  go [] parts
 
 let parse ~header ~on_point text =
   let lines = String.split_on_char '\n' text in

@@ -1087,14 +1087,18 @@ let run ?(seed = 42) ~quick id =
 let run_all ?seed ~quick () =
   List.map (fun id -> run ?seed ~quick id) ids
 
+(* print_result renders an experiment to the terminal by design; the
+   io-stdout lint rule is suppressed for exactly these calls. *)
 let print_result r =
+  (* msp-lint: allow io-stdout *)
   Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii r.id) r.title;
-  Printf.printf "paper: %s\n\n" r.prediction;
+  Printf.printf "paper: %s\n\n" r.prediction; (* msp-lint: allow io-stdout *)
   List.iter
     (fun (caption, table) -> Tables.print ~title:caption table)
     r.tables;
+  (* msp-lint: allow io-stdout *)
   List.iter (fun line -> Printf.printf "- %s\n" line) r.findings;
-  print_newline ()
+  print_newline () (* msp-lint: allow io-stdout *)
 
 let result_to_markdown r =
   let buf = Buffer.create 1024 in

@@ -110,7 +110,7 @@ let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
                   done
                 end)
               points;
-            if !inv_sum = 0.0 then
+            if Float.equal !inv_sum 0.0 then
               (* All points coincide with the iterate. *)
               continue := false
             else begin

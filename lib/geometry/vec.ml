@@ -62,7 +62,8 @@ let norm2 v = dot v v
 let norm v =
   (* Scale by the max coordinate so that squaring cannot overflow. *)
   let m = Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 0.0 v in
-  if m = 0.0 || m = infinity then (if m = infinity then infinity else 0.0)
+  if Float.equal m 0.0 then 0.0
+  else if Float.equal m infinity then infinity
   else begin
     let acc = ref 0.0 in
     for i = 0 to Array.length v - 1 do
@@ -87,7 +88,7 @@ let lerp a b s =
 let move_towards p target d =
   if d < 0.0 then invalid_arg "Vec.move_towards: negative distance";
   let gap = dist p target in
-  if gap <= d || gap = 0.0 then copy target
+  if gap <= d || Float.equal gap 0.0 then copy target
   else lerp p target (d /. gap)
 
 let clamp_step ~from limit target =

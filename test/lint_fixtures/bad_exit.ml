@@ -1,0 +1,5 @@
+(* Fixture: exit in library code. *)
+
+let bail () = exit 1
+
+let bail_qualified () = Stdlib.exit 2

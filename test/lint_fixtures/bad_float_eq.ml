@@ -1,0 +1,11 @@
+(* Fixture: polymorphic comparisons on float evidence. *)
+
+let is_zero x = x = 0.0
+
+let differs x = x <> 1.5
+
+let is_nan x = x = nan
+
+let ordered x = compare x infinity
+
+let arithmetic a b = a +. b = 3.0

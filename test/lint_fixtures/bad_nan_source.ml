@@ -1,0 +1,5 @@
+(* Fixture: NaN sources in cost paths. *)
+
+let parse s = float_of_string s
+
+let blow_up x = x /. 0.0

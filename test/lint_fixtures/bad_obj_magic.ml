@@ -1,0 +1,3 @@
+(* Fixture: Obj.magic is forbidden everywhere. *)
+
+let coerce (x : int) : string = Obj.magic x

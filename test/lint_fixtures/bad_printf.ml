@@ -1,0 +1,7 @@
+(* Fixture: stdout printing in library code. *)
+
+let shout () = Printf.printf "loud %d\n" 1
+
+let tell () = print_endline "psst"
+
+let fmt () = Format.printf "%d@." 3

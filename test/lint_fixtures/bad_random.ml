@@ -1,0 +1,9 @@
+(* Fixture: every use of Stdlib.Random must trip determinism-random. *)
+
+let roll () = Random.int 6
+
+let seeded () = Stdlib.Random.self_init ()
+
+module R = Random
+
+let state () = Random.State.make [| 42 |]

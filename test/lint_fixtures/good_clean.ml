@@ -1,0 +1,17 @@
+(* Fixture: idiomatic code that must produce zero findings under the
+   Library rule set. *)
+
+let is_zero x = Float.equal x 0.0
+
+let ordered x y = Float.compare x y
+
+let parse s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Some f
+  | _ -> None
+
+let describe x = Printf.sprintf "value %g" x
+
+let log_it x = Format.fprintf Format.err_formatter "%g@." x
+
+let halve x = x /. 2.0

@@ -1,0 +1,12 @@
+(* Fixture: the same violations as elsewhere, all silenced with the
+   per-line allow syntax — both same-line and line-above placement. *)
+
+let shout () = Printf.printf "loud\n" (* msp-lint: allow io-stdout *)
+
+(* msp-lint: allow determinism-random *)
+let roll () = Random.int 6
+
+let is_zero x = x = 0.0 (* msp-lint: allow float-poly-eq *)
+
+(* msp-lint: allow all *)
+let bail () = exit 1

@@ -1,0 +1,3 @@
+(* Fixture: a lib/ module without an .mli must trip missing-mli. *)
+
+let answer = 42

@@ -1,0 +1,3 @@
+(* Fixture: this module has an .mli, so no missing-mli finding. *)
+
+let answer = 43

@@ -1,0 +1,299 @@
+(* Tests for the runtime invariant auditor (lib/analysis): clean
+   algorithms audit clean and unchanged; injected faults — oversized
+   moves, NaN positions, dimension mismatches, hidden global state —
+   are reported as the right violation kinds. *)
+
+module Vec = Geometry.Vec
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Algorithm = Mobile_server.Algorithm
+module Engine = Mobile_server.Engine
+module Report = Analysis.Report
+module Audit = Analysis.Audit
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let instance_of_lists rows =
+  Instance.make ~start:(Vec.zero 1)
+    (Array.of_list
+       (List.map (fun row -> Array.of_list (List.map Vec.make1 row)) rows))
+
+(* --- Faulty algorithms ----------------------------------------------- *)
+
+(* Proposes a move of exactly 2·(1+δ)·m every round. *)
+let overstepper =
+  {
+    Algorithm.name = "overstepper";
+    make =
+      (fun ?rng:_ config ~start ->
+        let limit = Config.online_limit config in
+        let pos = ref (Vec.copy start) in
+        fun _requests ->
+          let target = Vec.copy !pos in
+          target.(0) <- target.(0) +. (2.0 *. limit);
+          pos := Vec.clamp_step ~from:!pos limit target;
+          target);
+  }
+
+(* Answers NaN coordinates from the first round on. *)
+let nan_proposer =
+  {
+    Algorithm.name = "nan-proposer";
+    make =
+      (fun ?rng:_ _config ~start ->
+        let d = Vec.dim start in
+        fun _requests -> Array.make d Float.nan);
+  }
+
+(* Carries hidden state across runs: two same-seed replays diverge. *)
+let nondeterministic () =
+  let drift = ref 0.0 in
+  {
+    Algorithm.name = "nondet";
+    make =
+      (fun ?rng:_ _config ~start ->
+        fun _requests ->
+          drift := !drift +. 1e-3;
+          let p = Vec.copy start in
+          p.(0) <- p.(0) +. !drift;
+          p);
+  }
+
+(* --- Unit tests ------------------------------------------------------ *)
+
+let audit_clean_mtc () =
+  let config = Config.make ~d_factor:2.0 ~delta:0.5 () in
+  let inst = instance_of_lists [ [ 5.0 ]; [ -3.0 ]; [ 8.0 ]; [ 0.0 ] ] in
+  let report, run = Audit.run config Mobile_server.Mtc.algorithm inst in
+  Alcotest.(check bool) "ok" true (Report.ok report);
+  Alcotest.(check int) "no clamping" 0 report.Report.clamped;
+  Alcotest.(check bool) "determinism ran" true
+    report.Report.determinism_checked;
+  (* Auditing must not perturb the run itself. *)
+  let plain = Engine.run config Mobile_server.Mtc.algorithm inst in
+  Array.iteri
+    (fun t p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d unchanged" t)
+        true
+        (Vec.equal ~eps:0.0 p plain.Engine.positions.(t)))
+    run.Engine.positions;
+  check_float "cost unchanged"
+    (Mobile_server.Cost.total plain.Engine.cost)
+    (Mobile_server.Cost.total run.Engine.cost)
+
+let audit_flags_oversized_moves () =
+  let config = Config.make ~delta:0.5 () in
+  let inst = instance_of_lists [ [ 0.0 ]; [ 0.0 ]; [ 0.0 ] ] in
+  let report, run = Audit.run config overstepper inst in
+  Alcotest.(check bool) "not ok" false (Report.ok report);
+  Alcotest.(check int) "engine clamped every round" 3 run.Engine.clamped;
+  Alcotest.(check int) "one clamp violation per round" 3
+    (Report.count report ~kind:Report.is_clamped);
+  match report.Report.violations with
+  | { Report.round = 0; kind = Report.Clamped_proposal { distance; limit } }
+    :: _ ->
+    check_float "limit is the online budget" 1.5 limit;
+    check_float "distance is the proposal's" 3.0 distance
+  | _ -> Alcotest.fail "expected a Clamped_proposal at round 0"
+
+let audit_flags_nan () =
+  let config = Config.make () in
+  let inst = instance_of_lists [ [ 1.0 ]; [ 1.0 ] ] in
+  let report, _run = Audit.run config nan_proposer inst in
+  Alcotest.(check bool) "not ok" false (Report.ok report);
+  Alcotest.(check int) "nan proposal every round" 2
+    (Report.count report ~kind:(fun k -> k = Report.Non_finite_proposal));
+  Alcotest.(check bool) "positions poisoned" true
+    (Report.count report ~kind:(fun k -> k = Report.Non_finite_position) > 0);
+  Alcotest.(check bool) "costs poisoned" true
+    (Report.count report ~kind:(fun k -> k = Report.Non_finite_cost) > 0);
+  (* Deterministically NaN is still deterministic. *)
+  Alcotest.(check int) "no nondeterminism" 0
+    (Report.count report ~kind:Report.is_nondeterministic)
+
+let audit_flags_nondeterminism () =
+  let config = Config.make () in
+  let inst = instance_of_lists [ [ 0.0 ]; [ 0.0 ] ] in
+  let report, _run = Audit.run config (nondeterministic ()) inst in
+  Alcotest.(check int) "nondeterminism reported" 1
+    (Report.count report ~kind:Report.is_nondeterministic);
+  match
+    List.find_opt
+      (fun v -> Report.is_nondeterministic v.Report.kind)
+      report.Report.violations
+  with
+  | Some { Report.round = 0; _ } -> ()
+  | Some v ->
+    Alcotest.failf "divergence reported at round %d, expected 0"
+      v.Report.round
+  | None -> Alcotest.fail "missing Nondeterministic violation"
+
+let audit_skips_determinism_on_request () =
+  let config = Config.make () in
+  let inst = instance_of_lists [ [ 0.0 ] ] in
+  let report, _ =
+    Audit.run ~check_determinism:false config (nondeterministic ()) inst
+  in
+  Alcotest.(check bool) "flag recorded" false
+    report.Report.determinism_checked;
+  Alcotest.(check int) "no nondeterminism reported" 0
+    (Report.count report ~kind:Report.is_nondeterministic)
+
+let wrap_flags_request_dimension () =
+  let recorder = Audit.recorder () in
+  let wrapped = Audit.wrap recorder Algorithm.stay_put in
+  let config = Config.make () in
+  let stepper = wrapped.Algorithm.make config ~start:(Vec.zero 2) in
+  ignore (stepper [| Vec.make1 1.0 |]);
+  match Audit.violations recorder with
+  | [ { Report.round = 0;
+        kind = Report.Dimension_mismatch { expected = 2; got = 1 } } ] ->
+    ()
+  | _ -> Alcotest.fail "expected one Dimension_mismatch violation"
+
+let wrap_flags_proposal_dimension () =
+  let bad =
+    {
+      Algorithm.name = "wrong-dim";
+      make = (fun ?rng:_ _config ~start:_ -> fun _requests -> Vec.make2 0.0 0.0);
+    }
+  in
+  let recorder = Audit.recorder () in
+  let wrapped = Audit.wrap recorder bad in
+  let config = Config.make () in
+  let stepper = wrapped.Algorithm.make config ~start:(Vec.zero 1) in
+  ignore (stepper [||]);
+  match Audit.violations recorder with
+  | [ { Report.round = 0;
+        kind = Report.Dimension_mismatch { expected = 1; got = 2 } } ] ->
+    ()
+  | _ -> Alcotest.fail "expected one Dimension_mismatch violation"
+
+let wrap_fail_fast_raises () =
+  let recorder = Audit.recorder () in
+  let wrapped = Audit.wrap ~fail_fast:true recorder overstepper in
+  let config = Config.make () in
+  let stepper = wrapped.Algorithm.make config ~start:(Vec.zero 1) in
+  match stepper [||] with
+  | _ -> Alcotest.fail "expected Audit.Violation"
+  | exception Audit.Violation { Report.round = 0; kind } ->
+    Alcotest.(check bool) "clamp violation" true (Report.is_clamped kind)
+
+let report_rendering () =
+  let config = Config.make ~delta:0.5 () in
+  let inst = instance_of_lists [ [ 0.0 ] ] in
+  let report, _ = Audit.run config overstepper inst in
+  let text = Format.asprintf "%a" Report.pp report in
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    nn = 0 || scan 0
+  in
+  Alcotest.(check bool) "mentions verdict" true
+    (contains "VIOLATIONS FOUND" text);
+  Alcotest.(check bool) "mentions clamp" true (contains "clamped" text);
+  Alcotest.(check bool) "summary verdict" true
+    (contains "FAILED" (Report.summary report));
+  let clean, _ = Audit.run config Mobile_server.Mtc.algorithm inst in
+  Alcotest.(check bool) "clean summary" true
+    (contains "audit ok" (Report.summary clean))
+
+(* --- QCheck properties ----------------------------------------------- *)
+
+let small_instance_gen =
+  QCheck.Gen.(
+    let coord = float_range (-20.0) 20.0 in
+    int_range 1 3 >>= fun dim ->
+    let point = array_size (return dim) coord in
+    let round = array_size (int_range 0 3) point in
+    array_size (int_range 1 10) round >|= fun steps ->
+    Instance.make ~start:(Vec.zero dim) steps)
+
+let arbitrary_instance =
+  QCheck.make ~print:(fun i -> Format.asprintf "%a" Instance.pp i)
+    small_instance_gen
+
+let qcheck_well_behaved_algorithms_audit_clean =
+  QCheck.Test.make ~count:60
+    ~name:"registry algorithms produce zero violations and zero clamps"
+    arbitrary_instance
+    (fun inst ->
+      let config = Config.make ~d_factor:2.0 ~move_limit:0.8 ~delta:0.4 () in
+      let dim = Instance.dim inst in
+      List.for_all
+        (fun alg ->
+          let report, run = Audit.run ~seed:11 config alg inst in
+          Report.ok report && run.Engine.clamped = 0)
+        (Baselines.Registry.all ~dim))
+
+let qcheck_audit_preserves_trajectory =
+  QCheck.Test.make ~count:60
+    ~name:"auditing changes neither trajectory nor cost"
+    arbitrary_instance
+    (fun inst ->
+      let config = Config.make ~d_factor:3.0 ~delta:0.25 () in
+      let _report, audited =
+        Audit.run ~seed:3 config Mobile_server.Mtc.algorithm inst
+      in
+      let plain = Engine.run config Mobile_server.Mtc.algorithm inst in
+      Array.for_all2
+        (fun a b -> Vec.equal ~eps:0.0 a b)
+        audited.Engine.positions plain.Engine.positions
+      && Float.equal
+           (Mobile_server.Cost.total audited.Engine.cost)
+           (Mobile_server.Cost.total plain.Engine.cost))
+
+let qcheck_overstepper_every_round_flagged =
+  QCheck.Test.make ~count:60
+    ~name:"a 2·(1+δ)m proposer is flagged every round"
+    arbitrary_instance
+    (fun inst ->
+      let config = Config.make ~delta:0.3 () in
+      let report, run = Audit.run config overstepper inst in
+      let t = Instance.length inst in
+      run.Engine.clamped = t
+      && Report.count report ~kind:Report.is_clamped = t
+      && not (Report.ok report))
+
+let qcheck_nan_proposer_flagged =
+  QCheck.Test.make ~count:60 ~name:"a NaN proposer is flagged every round"
+    arbitrary_instance
+    (fun inst ->
+      let config = Config.make () in
+      let report, _run = Audit.run config nan_proposer inst in
+      Report.count report ~kind:(fun k -> k = Report.Non_finite_proposal)
+      = Instance.length inst)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "clean mtc" `Quick audit_clean_mtc;
+          Alcotest.test_case "oversized moves" `Quick
+            audit_flags_oversized_moves;
+          Alcotest.test_case "nan" `Quick audit_flags_nan;
+          Alcotest.test_case "nondeterminism" `Quick
+            audit_flags_nondeterminism;
+          Alcotest.test_case "determinism opt-out" `Quick
+            audit_skips_determinism_on_request;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "request dimension" `Quick
+            wrap_flags_request_dimension;
+          Alcotest.test_case "proposal dimension" `Quick
+            wrap_flags_proposal_dimension;
+          Alcotest.test_case "fail fast" `Quick wrap_fail_fast_raises;
+        ] );
+      ( "report", [ Alcotest.test_case "rendering" `Quick report_rendering ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_well_behaved_algorithms_audit_clean;
+            qcheck_audit_preserves_trajectory;
+            qcheck_overstepper_every_round_flagged;
+            qcheck_nan_proposer_flagged;
+          ] );
+    ]

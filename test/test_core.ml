@@ -189,6 +189,21 @@ let cost_feasible () =
   Alcotest.(check bool) "tolerance admits equality" true
     (Cost.feasible ~limit:1.0 ~start [| Vec.make1 1.0 |])
 
+let cost_feasible_rejects_non_finite () =
+  (* Regression: a NaN step distance never exceeds the slack, so garbage
+     trajectories used to be accepted as feasible. *)
+  let start = Vec.zero 1 in
+  Alcotest.(check bool) "nan position" false
+    (Cost.feasible ~limit:1.0 ~start [| Vec.make1 Float.nan |]);
+  Alcotest.(check bool) "nan then sane" false
+    (Cost.feasible ~limit:1.0 ~start
+       [| Vec.make1 Float.nan; Vec.make1 0.5 |]);
+  Alcotest.(check bool) "infinite position" false
+    (Cost.feasible ~limit:1.0 ~start [| Vec.make1 Float.infinity |]);
+  Alcotest.(check bool) "nan start" false
+    (Cost.feasible ~limit:1.0 ~start:(Vec.make1 Float.nan)
+       [| Vec.make1 0.0 |])
+
 (* --- Algorithm ----------------------------------------------------- *)
 
 let algorithm_clamps () =
@@ -270,6 +285,42 @@ let engine_empty_round () =
   check_float "no cost" 0.0 (Cost.total run.Engine.cost);
   Alcotest.check vec "stays" (Vec.zero 1) run.Engine.positions.(0)
 
+(* An algorithm that always proposes twice the online budget: every
+   proposal must be clamped and counted. *)
+let overstepper =
+  {
+    Algorithm.name = "overstepper";
+    make =
+      (fun ?rng:_ config ~start ->
+        let limit = Config.online_limit config in
+        let pos = ref (Vec.copy start) in
+        fun _requests ->
+          let target = Vec.copy !pos in
+          target.(0) <- target.(0) +. (2.0 *. limit);
+          pos := Vec.clamp_step ~from:!pos limit target;
+          target);
+  }
+
+let engine_counts_clamped () =
+  let config = Config.make ~delta:0.5 () in
+  let inst = instance_of_lists [ [ 0.0 ]; [ 0.0 ]; [ 0.0 ]; [ 0.0 ] ] in
+  let run = Engine.run config overstepper inst in
+  Alcotest.(check int) "every round clamped" 4 run.Engine.clamped;
+  let honest = Engine.run config Mobile_server.Mtc.algorithm inst in
+  Alcotest.(check int) "mtc never clamped" 0 honest.Engine.clamped
+
+let engine_step_record_reports_proposal () =
+  let config = Config.make () in
+  let inst = instance_of_lists [ [ 0.0 ] ] in
+  let seen = ref [] in
+  Engine.iter config overstepper inst (fun r -> seen := r :: !seen);
+  match !seen with
+  | [ r ] ->
+    Alcotest.(check bool) "flagged" true r.Engine.clamped;
+    check_float "raw proposal survives" 2.0 r.Engine.proposed.(0);
+    check_float "position clamped to budget" 1.0 r.Engine.position.(0)
+  | _ -> Alcotest.fail "expected exactly one record"
+
 (* --- Instance stats -------------------------------------------------- *)
 
 module Stats_m = Mobile_server.Instance_stats
@@ -336,6 +387,23 @@ let session_matches_run () =
     (Cost.total batch.Engine.cost)
     (Cost.total (Engine.Session.cost session));
   Alcotest.(check int) "round count" 60 (Engine.Session.rounds session)
+
+let session_counts_clamped () =
+  let config = Config.make () in
+  let session =
+    Engine.Session.create config overstepper ~start:(Vec.zero 1)
+  in
+  ignore (Engine.Session.step session [| Vec.make1 0.0 |]);
+  ignore (Engine.Session.step session [| Vec.make1 0.0 |]);
+  Alcotest.(check int) "both steps clamped" 2
+    (Engine.Session.clamped_count session);
+  let honest =
+    Engine.Session.create config Mobile_server.Mtc.algorithm
+      ~start:(Vec.zero 1)
+  in
+  ignore (Engine.Session.step honest [| Vec.make1 0.5 |]);
+  Alcotest.(check int) "honest step not clamped" 0
+    (Engine.Session.clamped_count honest)
 
 let session_validates_dimension () =
   let config = Config.make () in
@@ -441,6 +509,8 @@ let () =
           Alcotest.test_case "trajectory" `Quick cost_trajectory_sums;
           Alcotest.test_case "length mismatch" `Quick cost_trajectory_length_mismatch;
           Alcotest.test_case "feasible" `Quick cost_feasible;
+          Alcotest.test_case "feasible rejects non-finite" `Quick
+            cost_feasible_rejects_non_finite;
         ] );
       ( "algorithm",
         [
@@ -456,6 +526,9 @@ let () =
           Alcotest.test_case "replay budget" `Quick engine_replay_checks_budget;
           Alcotest.test_case "replay prices" `Quick engine_replay_prices;
           Alcotest.test_case "empty round" `Quick engine_empty_round;
+          Alcotest.test_case "counts clamped" `Quick engine_counts_clamped;
+          Alcotest.test_case "step record proposal" `Quick
+            engine_step_record_reports_proposal;
         ] );
       ( "instance-stats",
         [
@@ -465,6 +538,7 @@ let () =
       ( "session",
         [
           Alcotest.test_case "matches batch run" `Quick session_matches_run;
+          Alcotest.test_case "counts clamped" `Quick session_counts_clamped;
           Alcotest.test_case "validates dimension" `Quick
             session_validates_dimension;
           Alcotest.test_case "position isolated" `Quick session_position_isolated;

@@ -1,0 +1,173 @@
+(* Tests for the msp_lint static-analysis pass: every rule fires on a
+   seeded-bad fixture, clean code stays clean, suppression comments are
+   honoured, and path classification matches the repo layout. *)
+
+module Rules = Msp_lint_core.Lint_rules
+module Driver = Msp_lint_core.Lint_driver
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let lint ?(kind = Rules.Library) name =
+  match Driver.lint_file ~kind (fixture name) with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "fixture %s failed to parse: %s" name e
+
+let rules_fired findings =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Rules.finding) -> f.rule) findings)
+
+let check_only_rule name rule count =
+  let findings = lint name in
+  Alcotest.(check (list string))
+    (name ^ " rules") [ rule ] (rules_fired findings);
+  Alcotest.(check int) (name ^ " count") count (List.length findings)
+
+(* --- One fixture per rule ------------------------------------------- *)
+
+let rule_determinism_random () =
+  check_only_rule "bad_random.ml" "determinism-random" 4
+
+let rule_float_poly_eq () = check_only_rule "bad_float_eq.ml" "float-poly-eq" 5
+
+let rule_obj_magic () = check_only_rule "bad_obj_magic.ml" "obj-magic" 1
+
+let rule_lib_exit () = check_only_rule "bad_exit.ml" "lib-exit" 2
+
+let rule_io_stdout () = check_only_rule "bad_printf.ml" "io-stdout" 3
+
+let rule_nan_source () = check_only_rule "bad_nan_source.ml" "nan-source" 2
+
+let rule_missing_mli () =
+  let files = Driver.walk [ fixture "tree" ] in
+  let findings = Driver.missing_mli files in
+  match findings with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "missing-mli" f.Rules.rule;
+    Alcotest.(check bool) "names the bad module" true
+      (Filename.basename f.Rules.file = "no_interface.ml")
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* --- Clean and suppressed fixtures ----------------------------------- *)
+
+let clean_fixture_passes () =
+  Alcotest.(check (list string)) "no findings" [] (rules_fired (lint "good_clean.ml"))
+
+let suppressions_honoured () =
+  Alcotest.(check (list string)) "all suppressed" []
+    (rules_fired (lint "suppressed.ml"))
+
+let findings_have_positions () =
+  match lint "bad_obj_magic.ml" with
+  | [ f ] ->
+    Alcotest.(check int) "line" 3 f.Rules.line;
+    Alcotest.(check bool) "column sane" true (f.Rules.col >= 0)
+  | _ -> Alcotest.fail "expected one finding"
+
+(* --- Kind sensitivity ------------------------------------------------ *)
+
+let driver_kind_may_print_and_exit () =
+  Alcotest.(check (list string)) "printf ok in drivers" []
+    (rules_fired (lint ~kind:Rules.Driver "bad_printf.ml"));
+  Alcotest.(check (list string)) "exit ok in drivers" []
+    (rules_fired (lint ~kind:Rules.Driver "bad_exit.ml"))
+
+let driver_kind_still_deterministic () =
+  Alcotest.(check (list string)) "random still banned in drivers"
+    [ "determinism-random" ]
+    (rules_fired (lint ~kind:Rules.Driver "bad_random.ml"));
+  Alcotest.(check (list string)) "random allowed in lib/prng" []
+    (rules_fired (lint ~kind:Rules.Prng_library "bad_random.ml"))
+
+let classification_matches_layout () =
+  let check path expected =
+    Alcotest.(check bool) path true (Driver.classify path = expected)
+  in
+  check "lib/core/engine.ml" Rules.Library;
+  check "lib/prng/xoshiro.ml" Rules.Prng_library;
+  check "bin/msp_cli.ml" Rules.Driver;
+  check "bench/main.ml" Rules.Driver;
+  check "examples/quickstart.ml" Rules.Driver
+
+(* --- Infrastructure --------------------------------------------------- *)
+
+let parse_errors_reported () =
+  match Driver.lint_file ~kind:Rules.Library (fixture "syntax_error.ml.broken") with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> Alcotest.(check bool) "message non-empty" true (msg <> "")
+
+let every_rule_documented () =
+  (* Each emitted rule id must have --explain text, and rule ids are
+     unique. *)
+  let ids = List.map (fun (r : Rules.rule) -> r.id) Rules.rules in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  List.iter
+    (fun id ->
+      match Rules.find_rule id with
+      | Some r ->
+        Alcotest.(check bool) (id ^ " has explain") true
+          (String.length r.explain > 40)
+      | None -> Alcotest.failf "rule %s vanished" id)
+    ids;
+  List.iter
+    (fun fired ->
+      Alcotest.(check bool) (fired ^ " is documented") true
+        (Rules.find_rule fired <> None))
+    (List.concat_map
+       (fun fx -> rules_fired (lint fx))
+       [ "bad_random.ml"; "bad_float_eq.ml"; "bad_obj_magic.ml";
+         "bad_exit.ml"; "bad_printf.ml"; "bad_nan_source.ml" ])
+
+let lint_tree_aggregates () =
+  let findings, errors = Driver.lint_tree [ "lint_fixtures" ] in
+  Alcotest.(check (list string)) "no parse errors" [] errors;
+  (* Everything under lint_fixtures is classified Driver (no lib/
+     segment), so only kind-independent rules fire — plus missing-mli
+     from the fixture tree, whose path does contain lib/. *)
+  let rules = rules_fired findings in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " expected") true
+        (List.mem r
+           [ "determinism-random"; "float-poly-eq"; "obj-magic";
+             "nan-source"; "missing-mli" ]))
+    rules;
+  Alcotest.(check bool) "missing-mli present" true
+    (List.mem "missing-mli" rules)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism-random" `Quick
+            rule_determinism_random;
+          Alcotest.test_case "float-poly-eq" `Quick rule_float_poly_eq;
+          Alcotest.test_case "obj-magic" `Quick rule_obj_magic;
+          Alcotest.test_case "lib-exit" `Quick rule_lib_exit;
+          Alcotest.test_case "io-stdout" `Quick rule_io_stdout;
+          Alcotest.test_case "nan-source" `Quick rule_nan_source;
+          Alcotest.test_case "missing-mli" `Quick rule_missing_mli;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "clean fixture" `Quick clean_fixture_passes;
+          Alcotest.test_case "suppressions" `Quick suppressions_honoured;
+          Alcotest.test_case "positions" `Quick findings_have_positions;
+        ] );
+      ( "kinds",
+        [
+          Alcotest.test_case "drivers may print/exit" `Quick
+            driver_kind_may_print_and_exit;
+          Alcotest.test_case "drivers stay deterministic" `Quick
+            driver_kind_still_deterministic;
+          Alcotest.test_case "classification" `Quick
+            classification_matches_layout;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "parse errors" `Quick parse_errors_reported;
+          Alcotest.test_case "rules documented" `Quick every_rule_documented;
+          Alcotest.test_case "lint_tree" `Quick lint_tree_aggregates;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+let path_segments path = String.split_on_char '/' path
+
+let classify path =
+  let segs = path_segments path in
+  if List.mem "lib" segs then
+    if List.mem "prng" segs then Lint_rules.Prng_library else Lint_rules.Library
+  else Lint_rules.Driver
+
+let skipped_dir = function
+  | "_build" | ".git" | "_opam" | "node_modules" -> true
+  | _ -> false
+
+let source_file path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let walk roots =
+  let acc = ref [] in
+  let rec visit path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        if not (skipped_dir (Filename.basename path)) then
+          Array.iter
+            (fun entry -> visit (Filename.concat path entry))
+            (Sys.readdir path)
+      end
+      else if source_file path then acc := path :: !acc
+  in
+  List.iter visit roots;
+  List.sort_uniq String.compare !acc
+
+(* --- Suppressions ---------------------------------------------------- *)
+
+let marker = "msp-lint: allow"
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let allowed_rules_on_line line =
+  match find_substring line marker with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + String.length marker)
+        (String.length line - i - String.length marker)
+    in
+    let rest =
+      match find_substring rest "*)" with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    Some
+      (List.filter
+         (fun s -> s <> "")
+         (String.split_on_char ' '
+            (String.map (function ',' | '\t' -> ' ' | c -> c) rest)))
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      Array.of_list
+        (String.split_on_char '\n' (really_input_string ic len)))
+
+let line_allows lines n rule =
+  n >= 1
+  && n <= Array.length lines
+  &&
+  match allowed_rules_on_line lines.(n - 1) with
+  | Some ids -> List.mem rule ids || List.mem "all" ids
+  | None -> false
+
+let suppressed lines (f : Lint_rules.finding) =
+  line_allows lines f.line f.rule || line_allows lines (f.line - 1) f.rule
+
+(* --- Parsing --------------------------------------------------------- *)
+
+let rendered_error path exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+  | Some `Already_displayed | None ->
+    Printf.sprintf "%s: %s" path (Printexc.to_string exn)
+
+let lint_file ?kind path =
+  let kind = match kind with Some k -> k | None -> classify path in
+  let check () =
+    if Filename.check_suffix path ".mli" then
+      Lint_rules.check_signature ~kind ~file:path
+        (Pparse.parse_interface ~tool_name:"msp_lint" path)
+    else
+      Lint_rules.check_structure ~kind ~file:path
+        (Pparse.parse_implementation ~tool_name:"msp_lint" path)
+  in
+  match check () with
+  | findings ->
+    let lines = read_lines path in
+    Ok (List.filter (fun f -> not (suppressed lines f)) findings)
+  | exception exn -> Error (rendered_error path exn)
+
+(* --- missing-mli ------------------------------------------------------ *)
+
+let missing_mli files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun path ->
+      if
+        Filename.check_suffix path ".ml"
+        && List.mem "lib" (path_segments path)
+        && not (Hashtbl.mem set (path ^ "i"))
+      then begin
+        let finding =
+          {
+            Lint_rules.file = path;
+            line = 1;
+            col = 0;
+            rule = "missing-mli";
+            message =
+              "library module has no interface; add "
+              ^ Filename.basename path ^ "i";
+          }
+        in
+        let lines = read_lines path in
+        if suppressed lines finding then None else Some finding
+      end
+      else None)
+    files
+
+(* --- Whole-tree entry point ------------------------------------------ *)
+
+let lint_tree roots =
+  let files = walk roots in
+  let findings, errors =
+    List.fold_left
+      (fun (fs, es) path ->
+        match lint_file path with
+        | Ok f -> (f :: fs, es)
+        | Error e -> (fs, e :: es))
+      ([], []) files
+  in
+  let all = List.concat (List.rev findings) @ missing_mli files in
+  let sorted =
+    List.stable_sort
+      (fun (a : Lint_rules.finding) (b : Lint_rules.finding) ->
+        match String.compare a.file b.file with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      all
+  in
+  (sorted, List.rev errors)

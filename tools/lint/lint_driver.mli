@@ -1,0 +1,33 @@
+(** File discovery, parsing and suppression handling for [msp_lint].
+
+    The driver walks source trees, classifies each file by its path
+    ([lib/] is {!Lint_rules.Library}, [lib/prng] is
+    {!Lint_rules.Prng_library}, everything else {!Lint_rules.Driver}),
+    parses with compiler-libs ({!Pparse}) and filters findings through
+    per-line [(* msp-lint: allow RULE *)] suppressions. *)
+
+val classify : string -> Lint_rules.file_kind
+(** Classification by path segments. *)
+
+val walk : string list -> string list
+(** [walk roots] is every [.ml]/[.mli] under the given files/directories
+    (recursively; [_build], [.git] and [_opam] are skipped), sorted. *)
+
+val lint_file :
+  ?kind:Lint_rules.file_kind -> string ->
+  (Lint_rules.finding list, string) result
+(** Parse and check one file; [kind] defaults to [classify path].
+    [Error] carries a rendered parse-error message.  Findings whose line
+    (or the line directly above) contains
+    [msp-lint: allow <rule ...>] — or [allow all] — are dropped. *)
+
+val missing_mli : string list -> Lint_rules.finding list
+(** Given a walked file list, one [missing-mli] finding per [.ml] under
+    a [lib] segment with no sibling [.mli].  A suppression marker on the
+    first line of the [.ml] is honoured. *)
+
+val lint_tree :
+  string list -> Lint_rules.finding list * string list
+(** [lint_tree roots] walks, lints every file, appends {!missing_mli}
+    findings, and returns findings (sorted by file, then line) plus
+    parse-error messages. *)

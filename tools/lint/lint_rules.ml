@@ -1,0 +1,231 @@
+type file_kind = Library | Prng_library | Driver
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type rule = { id : string; summary : string; explain : string }
+
+let rules =
+  [
+    {
+      id = "determinism-random";
+      summary = "Stdlib.Random is forbidden outside lib/prng";
+      explain =
+        "Every simulated run must replay bit-for-bit from a seed: the \
+         paper's measurements (and the Yao-principle averages) are only \
+         reproducible if all entropy flows through the Prng streams that \
+         experiments derive from (name, seed) pairs.  Stdlib.Random is \
+         global, shared and seeded from the environment, so a single call \
+         anywhere silently breaks replay.  Use Prng.Stream / Prng.Dist and \
+         thread the generator explicitly.";
+    };
+    {
+      id = "missing-mli";
+      summary = "every module under lib/ must have an .mli";
+      explain =
+        "Interfaces are where invariants are documented and where private \
+         types (Config.t, Instance.t) stay private.  A lib/ module without \
+         an .mli exports every helper and every mutable detail, which the \
+         rest of the tree then silently depends on.";
+    };
+    {
+      id = "float-poly-eq";
+      summary = "no polymorphic =/<>/compare on float evidence";
+      explain =
+        "Polymorphic equality on floats is a bug magnet: nan = nan is \
+         false, 0. = -0. is true, and the polymorphic compare function \
+         orders nan inconsistently with (<).  Use Float.equal, \
+         Float.compare, or Vec.equal (which takes a tolerance) instead.  \
+         The check is syntactic: it fires when an argument of = / <> / == \
+         / != / compare is a float literal, nan/infinity, or a float \
+         arithmetic expression.";
+    };
+    {
+      id = "obj-magic";
+      summary = "Obj.magic is forbidden";
+      explain =
+        "Obj.magic defeats the type system; in this codebase there is no \
+         FFI or serialization trick that needs it, so any use is either a \
+         bug or a future bug.";
+    };
+    {
+      id = "lib-exit";
+      summary = "no exit in library code";
+      explain =
+        "Library code must report errors to its caller (raise \
+         Invalid_argument, return a result); calling exit from lib/ kills \
+         the whole process of any embedding application — including the \
+         test runner.  Only executables (bin/, bench/, examples/) may \
+         exit.";
+    };
+    {
+      id = "io-stdout";
+      summary = "no direct stdout printing in library code";
+      explain =
+        "Printf.printf / print_endline / Format.printf in lib/ write to \
+         the process's stdout, which corrupts machine-readable output \
+         (CSV, tables) and cannot be captured by embedders.  Return \
+         strings, take a Format.formatter argument, or log through Logs.  \
+         Deliberate terminal-rendering modules may suppress per line with \
+         (* msp-lint: allow io-stdout *).";
+    };
+    {
+      id = "nan-source";
+      summary = "no bare float_of_string or literal /. 0.";
+      explain =
+        "float_of_string accepts \"nan\" and \"inf\" and raises on \
+         garbage, so parsed input can smuggle non-finite values into cost \
+         accounting (the auditor's Non_finite_* violations).  Parse with \
+         float_of_string_opt and validate finiteness (see \
+         Serialize.finite_float_of_string).  Similarly a literal division \
+         by 0. is a guaranteed inf/nan factory.";
+    };
+  ]
+
+let find_rule id = List.find_opt (fun r -> r.id = id) rules
+
+(* --- AST helpers ---------------------------------------------------- *)
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let float_ident = function
+  | [ ("nan" | "infinity" | "neg_infinity" | "epsilon_float" | "max_float"
+      | "min_float") ] ->
+    true
+  | [ "Float";
+      ("nan" | "infinity" | "neg_infinity" | "pi" | "epsilon" | "max_float"
+      | "min_float") ] ->
+    true
+  | _ -> false
+
+let float_operator = function
+  | [ ("+." | "-." | "*." | "/." | "**" | "sqrt" | "exp" | "log") ] -> true
+  | _ -> false
+
+let rec is_float_evidence (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> float_ident (strip_stdlib (flatten txt))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    float_operator (strip_stdlib (flatten txt))
+  | Pexp_constraint (inner, _) -> is_float_evidence inner
+  | _ -> false
+
+let is_zero_float_literal lit =
+  match float_of_string_opt lit with
+  | Some f -> Float.equal f 0.0
+  | None -> false
+
+(* --- The iterator --------------------------------------------------- *)
+
+type ctx = {
+  kind : file_kind;
+  file : string;
+  mutable acc : finding list;  (* reversed *)
+}
+
+let add ctx (loc : Location.t) rule message =
+  ctx.acc <-
+    {
+      file = ctx.file;
+      line = loc.loc_start.pos_lnum;
+      col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+      rule;
+      message;
+    }
+    :: ctx.acc
+
+let in_library ctx =
+  match ctx.kind with Library | Prng_library -> true | Driver -> false
+
+let stdout_printer = function
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ] -> true
+  | [ ("print_endline" | "print_string" | "print_newline" | "print_char"
+      | "print_int" | "print_float" | "print_bytes") ] ->
+    true
+  | _ -> false
+
+let check_ident ctx (loc : Location.t) path =
+  match strip_stdlib path with
+  | "Random" :: _ when ctx.kind <> Prng_library ->
+    add ctx loc "determinism-random"
+      "Stdlib.Random breaks seeded replay; use Prng.Stream / Prng.Dist"
+  | [ "Obj"; "magic" ] ->
+    add ctx loc "obj-magic" "Obj.magic defeats the type system"
+  | [ "exit" ] when in_library ctx ->
+    add ctx loc "lib-exit"
+      "library code must not exit the process; raise or return a result"
+  | [ "float_of_string" ] ->
+    add ctx loc "nan-source"
+      "float_of_string accepts \"nan\"/\"inf\"; use float_of_string_opt \
+       and check Float.is_finite"
+  | p when in_library ctx && stdout_printer p ->
+    add ctx loc "io-stdout"
+      "library code must not print to stdout; take a formatter or return \
+       a string"
+  | _ -> ()
+
+let equality_like = function
+  | [ ("=" | "<>" | "==" | "!=" | "compare") ] -> true
+  | _ -> false
+
+let check_apply ctx (e : Parsetree.expression) fn_path args =
+  let path = strip_stdlib fn_path in
+  if equality_like path
+     && List.exists (fun (_, a) -> is_float_evidence a) args
+  then
+    add ctx e.pexp_loc "float-poly-eq"
+      "polymorphic comparison on floats (nan-unsafe); use Float.equal / \
+       Float.compare / Vec.equal";
+  match (path, args) with
+  | ( [ "/." ],
+      [ _;
+        (Asttypes.Nolabel,
+         { Parsetree.pexp_desc = Pexp_constant (Pconst_float (lit, None)); _ })
+      ] )
+    when is_zero_float_literal lit ->
+    add ctx e.pexp_loc "nan-source"
+      "literal division by zero always yields inf/nan"
+  | _ -> ()
+
+let iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr iter (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc (flatten txt)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      check_apply ctx e (flatten txt) args
+    | _ -> ());
+    default.expr iter e
+  in
+  let module_expr iter (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; _ } ->
+      (match strip_stdlib (flatten txt) with
+      | "Random" :: _ when ctx.kind <> Prng_library ->
+        add ctx m.pmod_loc "determinism-random"
+          "aliasing/opening Stdlib.Random breaks seeded replay; use \
+           Prng.Stream"
+      | _ -> ())
+    | _ -> ());
+    default.module_expr iter m
+  in
+  { default with expr; module_expr }
+
+let run_checks ~kind ~file f =
+  let ctx = { kind; file; acc = [] } in
+  f (iterator ctx);
+  List.rev ctx.acc
+
+let check_structure ~kind ~file str =
+  run_checks ~kind ~file (fun it -> it.Ast_iterator.structure it str)
+
+let check_signature ~kind ~file sg =
+  run_checks ~kind ~file (fun it -> it.Ast_iterator.signature it sg)

@@ -1,0 +1,40 @@
+(** The repo's source-level lint rules, applied to parsed ASTs.
+
+    Rules are purely syntactic (no typing pass), so the float-equality
+    and NaN-source checks are heuristics: they fire on literal/ident
+    evidence in the source, never on inferred types.  See
+    [docs/analysis.md] for the exact scope of each rule. *)
+
+type file_kind =
+  | Library  (** Under [lib/]: the strictest rule set. *)
+  | Prng_library  (** Under [lib/prng]: exempt from [determinism-random]. *)
+  | Driver  (** [bin/], [bench/], [examples/]: executables may print/exit. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, as in compiler messages. *)
+  rule : string;  (** Rule id, e.g. ["determinism-random"]. *)
+  message : string;
+}
+
+type rule = {
+  id : string;
+  summary : string;  (** One line, shown by [--rules]. *)
+  explain : string;  (** Multi-line rationale, shown by [--explain]. *)
+}
+
+val rules : rule list
+(** Every rule the linter can emit, including the driver-level
+    [missing-mli]. *)
+
+val find_rule : string -> rule option
+
+val check_structure :
+  kind:file_kind -> file:string -> Parsetree.structure -> finding list
+(** Findings for one [.ml] AST, in source order. *)
+
+val check_signature :
+  kind:file_kind -> file:string -> Parsetree.signature -> finding list
+(** Findings for one [.mli] AST (interfaces rarely trip expression
+    rules, but module aliases to [Random] and the like are caught). *)

@@ -1,0 +1,83 @@
+(* msp_lint — source-level lint for the Mobile Server Problem repo.
+
+   Parses every .ml/.mli under the given roots (default: lib bin bench
+   examples) with compiler-libs and enforces the repo rules described in
+   docs/analysis.md.  Findings print as
+
+     file:line:col: [rule-id] message
+
+   Exit codes: 0 clean, 1 findings, 2 usage/parse errors. *)
+
+module Lint_rules = Msp_lint_core.Lint_rules
+module Lint_driver = Msp_lint_core.Lint_driver
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let print_rules () =
+  List.iter
+    (fun (r : Lint_rules.rule) -> Printf.printf "%-20s %s\n" r.id r.summary)
+    Lint_rules.rules
+
+let explain id =
+  match Lint_rules.find_rule id with
+  | Some r ->
+    Printf.printf "%s — %s\n\n%s\n" r.id r.summary r.explain;
+    0
+  | None ->
+    Printf.eprintf
+      "msp_lint: unknown rule %S (use --rules to list rule ids)\n" id;
+    2
+
+let () =
+  let roots = ref [] in
+  let explain_rule = ref None in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let spec =
+    [
+      ( "--explain",
+        Arg.String (fun r -> explain_rule := Some r),
+        "RULE  Describe a rule and its rationale" );
+      ("--rules", Arg.Set list_rules, " List every rule id");
+      ("--quiet", Arg.Set quiet, " Suppress the summary line");
+    ]
+  in
+  let usage = "msp_lint [options] [PATH...]\n\nOptions:" in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !list_rules then begin
+    print_rules ();
+    exit 0
+  end;
+  match !explain_rule with
+  | Some r -> exit (explain r)
+  | None ->
+    let roots =
+      match List.rev !roots with
+      | [] -> List.filter Sys.file_exists default_roots
+      | rs ->
+        (* An explicitly-named root that does not exist must not pass
+           silently: a typo'd path would turn the lint gate green. *)
+        List.iter
+          (fun r ->
+            if not (Sys.file_exists r) then begin
+              Printf.eprintf "msp_lint: no such file or directory: %s\n" r;
+              exit 2
+            end)
+          rs;
+        rs
+    in
+    let findings, errors = Lint_driver.lint_tree roots in
+    List.iter
+      (fun (f : Lint_rules.finding) ->
+        Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule
+          f.message)
+      findings;
+    List.iter (fun e -> Printf.eprintf "%s\n" e) errors;
+    (if not !quiet then
+       let files = List.length (Lint_driver.walk roots) in
+       Printf.eprintf "msp_lint: %d file%s checked, %d finding%s\n" files
+         (if files = 1 then "" else "s")
+         (List.length findings)
+         (if List.length findings = 1 then "" else "s"));
+    if errors <> [] then exit 2;
+    if findings <> [] then exit 1
