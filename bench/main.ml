@@ -5,6 +5,10 @@
      dune exec bench/main.exe -- e1 e4        -- selected experiments
      dune exec bench/main.exe -- micro        -- microbenchmarks only
      dune exec bench/main.exe -- --quick ...  -- reduced horizons/seeds
+     dune exec bench/main.exe -- --jobs 4 ... -- worker domains for sweeps
+     dune exec bench/main.exe -- parallel     -- jobs=1 vs jobs=N comparison
+                                                 (JSON to BENCH_parallel.json,
+                                                  or --parallel-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -114,17 +118,83 @@ let run_micro () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: run a few multi-seed experiments at jobs=1 and at
+   the requested jobs count, check the reports are byte-identical (the
+   Exec determinism contract), and record wall-clock per experiment. *)
+
+let parallel_sample = [ "e4"; "e9"; "t1" ]
+
+let run_parallel ~quick ~jobs ~out () =
+  Printf.printf "\n=== PARALLEL: jobs=1 vs jobs=%d scaling check ===\n\n" jobs;
+  let time_at ~jobs id =
+    Exec.set_jobs jobs;
+    let t0 = Unix.gettimeofday () in
+    let result = Experiments.Catalog.run ~quick id in
+    (Unix.gettimeofday () -. t0, Experiments.Catalog.result_to_markdown result)
+  in
+  let rows =
+    List.map
+      (fun id ->
+        let s1, report1 = time_at ~jobs:1 id in
+        let sn, reportn = time_at ~jobs id in
+        let identical = String.equal report1 reportn in
+        let speedup = if sn > 0.0 then s1 /. sn else 1.0 in
+        Printf.printf
+          "%-4s jobs=1 %6.2fs   jobs=%d %6.2fs   speedup %.2fx   identical %b\n%!"
+          id s1 jobs sn speedup identical;
+        (id, s1, sn, speedup, identical))
+      parallel_sample
+  in
+  Exec.set_jobs jobs;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-parallel-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"default_jobs\": %d,\n" (Exec.default_jobs ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, s1, sn, speedup, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": %S, \"seconds_jobs1\": %.6g, \"seconds_jobsN\": \
+            %.6g, \"speedup\": %.6g, \"identical_output\": %b}%s\n"
+           id s1 sn speedup identical
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "parallel scaling report written to %s\n" out;
+  if not (List.for_all (fun (_, _, _, _, identical) -> identical) rows) then begin
+    prerr_endline "FATAL: parallel output differs from sequential output";
+    exit 1
+  end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   (* Optional: --markdown <path> writes the whole report as Markdown. *)
   let markdown_path = ref None in
+  let parallel_out = ref "BENCH_parallel.json" in
   let rec strip = function
     | [] -> []
     | "--quick" :: rest -> strip rest
     | "--markdown" :: path :: rest ->
       markdown_path := Some path;
+      strip rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> Exec.set_jobs j
+       | Some _ | None ->
+         prerr_endline "bench: --jobs expects a positive integer";
+         exit 2);
+      strip rest
+    | "--parallel-out" :: path :: rest ->
+      parallel_out := path;
       strip rest
     | arg :: rest -> arg :: strip rest
   in
@@ -137,6 +207,8 @@ let () =
       let started = Unix.gettimeofday () in
       (match id with
        | "micro" -> run_micro ()
+       | "parallel" ->
+         run_parallel ~quick ~jobs:(Exec.jobs ()) ~out:!parallel_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

@@ -74,6 +74,21 @@ let config_term =
   in
   Term.(term_result (const make $ d_factor $ move_limit $ delta $ variant))
 
+let jobs_setup =
+  let setup = function
+    | None -> Ok ()
+    | Some j ->
+      (try Ok (Exec.set_jobs j)
+       with Invalid_argument msg -> Error (`Msg msg))
+  in
+  Term.(term_result
+          (const setup
+           $ Arg.(value & opt (some int) None
+                  & info [ "jobs"; "j" ] ~docv:"N"
+                      ~doc:"Worker domains for parallel sweeps (default: \
+                            core count minus one).  Results are \
+                            bit-identical at any $(docv), including 1.")))
+
 (* --- Workloads ------------------------------------------------------ *)
 
 let workload_names =
@@ -185,7 +200,7 @@ let run_cmd =
 (* --- compare -------------------------------------------------------- *)
 
 let compare_cmd =
-  let action () config wname dim t seed =
+  let action () () config wname dim t seed =
     Result.map
       (fun inst ->
         let opt = compute_opt config inst in
@@ -211,8 +226,8 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every algorithm on one workload.")
     Term.(term_result
-            (const action $ verbose $ config_term $ workload $ dim $ rounds
-             $ seed))
+            (const action $ verbose $ jobs_setup $ config_term $ workload
+             $ dim $ rounds $ seed))
 
 (* --- plot ------------------------------------------------------------ *)
 
@@ -326,7 +341,7 @@ let experiment_cmd =
     Arg.(value & flag
          & info [ "quick" ] ~doc:"Reduced horizons and seed counts.")
   in
-  let action () id quick seed =
+  let action () () id quick seed =
     try
       if id = "all" then
         List.iter Experiments.Catalog.print_result
@@ -340,7 +355,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Run a reproduction experiment from the catalog.")
-    Term.(term_result (const action $ verbose $ id $ quick $ seed))
+    Term.(term_result
+            (const action $ verbose $ jobs_setup $ id $ quick $ seed))
 
 let () =
   let info =

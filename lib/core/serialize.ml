@@ -145,11 +145,18 @@ let instance_of_string text =
 
 let trajectory_of_string text =
   let points : (int * Vec.t) list ref = ref [] in
+  (* A trajectory needs exactly one position per round; a duplicate [pos]
+     line used to win silently (last one kept), hiding corrupted files. *)
+  let seen = Hashtbl.create 16 in
   let on_point ~line ~kind ~round v =
-    if kind = "pos" then begin
-      points := (round, v) :: !points;
-      Ok ()
-    end
+    if kind = "pos" then
+      if Hashtbl.mem seen round then
+        fail_line line (Printf.sprintf "duplicate position for round %d" round)
+      else begin
+        Hashtbl.add seen round ();
+        points := (round, v) :: !points;
+        Ok ()
+      end
     else fail_line line (Printf.sprintf "unexpected directive %S" kind)
   in
   Result.bind (parse ~header:header_trajectory ~on_point text)

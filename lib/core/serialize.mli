@@ -15,7 +15,8 @@
 
     [req t x1 .. xd] places one request in round [t] (0-based); rounds
     not mentioned are empty.  Trajectories use the same header with
-    [pos t x1 .. xd] lines, exactly one per round.
+    [pos t x1 .. xd] lines, exactly one per round: a missing round and a
+    duplicate [pos] for the same round are both parse errors.
 
     Parsing is strict: unknown directives, wrong dimension counts and
     out-of-range round indices are reported with their line number. *)

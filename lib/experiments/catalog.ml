@@ -506,7 +506,9 @@ let e9 ~seed ~quick =
       ("r <= D", 1, 4.0, 1); ("r <= D", 1, 4.0, 2) ]
   in
   let rows =
-    List.map
+    (* Each case owns a named stream, so the four adaptive-adversary
+       runs are independent cells. *)
+    Exec.map_list
       (fun (regime, r, d, dim) ->
         let config = Config.make ~d_factor:d ~move_limit:1.0 ~delta () in
         let rng = Prng.Stream.named ~name:(fmt "e9-%s-%d" regime dim) ~seed in
@@ -622,22 +624,35 @@ let t1 ~seed ~quick =
     List.map
       (fun (label, gen) ->
         let base = Prng.Stream.named ~name:(fmt "t1-%s" label) ~seed in
-        let accumulators =
-          List.map (fun _ -> Stats.Running.create ()) algorithms
+        (* One cell per seed, with all streams derived up front; each
+           cell returns a per-algorithm singleton accumulator and the
+           cells are merged in seed order, so the row is independent of
+           the jobs count. *)
+        let streams = Array.init seeds (Prng.Stream.replicate base) in
+        let alg_streams =
+          Array.init seeds (fun i -> Prng.Stream.replicate base (1000 + i))
         in
-        for i = 0 to seeds - 1 do
-          let rng = Prng.Stream.replicate base i in
-          let inst = gen rng in
-          let opt = Offline.Convex_opt.optimum ~max_iter config inst in
-          List.iter2
-            (fun alg acc ->
-              let alg_rng = Prng.Stream.replicate base (1000 + i) in
-              let ratio =
-                Ratio.cost_pair ~rng:alg_rng config alg inst ~opt
-              in
-              Stats.Running.add acc ratio)
-            algorithms accumulators
-        done;
+        let cells =
+          Exec.mapi
+            (fun i rng ->
+              let inst = gen rng in
+              let opt = Offline.Convex_opt.optimum ~max_iter config inst in
+              List.map
+                (fun alg ->
+                  let alg_rng = Prng.Xoshiro.copy alg_streams.(i) in
+                  let acc = Stats.Running.create () in
+                  Stats.Running.add acc
+                    (Ratio.cost_pair ~rng:alg_rng config alg inst ~opt);
+                  acc)
+                algorithms)
+            streams
+        in
+        let accumulators =
+          Array.fold_left
+            (fun accs cell -> List.map2 Stats.Running.merge accs cell)
+            (List.map (fun _ -> Stats.Running.create ()) algorithms)
+            cells
+        in
         label
         :: List.map
              (fun acc -> Tables.cell (Stats.Running.mean acc))
@@ -847,19 +862,30 @@ let a2 ~seed ~quick =
     List.map
       (fun (label, gen) ->
         let base = Prng.Stream.named ~name:(fmt "a2-%s" label) ~seed in
-        let orig_acc = Stats.Running.create () in
-        let coll_acc = Stats.Running.create () in
-        for i = 0 to seeds - 1 do
-          let rng = Prng.Stream.replicate base i in
-          let inst = gen rng in
-          let collapsed = collapse_onto_centers config inst in
-          let measure inst =
-            let opt = Offline.Line_dp.optimum config inst in
-            Engine.total_cost config mtc inst /. opt
-          in
-          Stats.Running.add orig_acc (measure inst);
-          Stats.Running.add coll_acc (measure collapsed)
-        done;
+        let streams = Array.init seeds (Prng.Stream.replicate base) in
+        let cells =
+          Exec.map
+            (fun rng ->
+              let inst = gen rng in
+              let collapsed = collapse_onto_centers config inst in
+              let measure inst =
+                let opt = Offline.Line_dp.optimum config inst in
+                Engine.total_cost config mtc inst /. opt
+              in
+              let orig = Stats.Running.create () in
+              let coll = Stats.Running.create () in
+              Stats.Running.add orig (measure inst);
+              Stats.Running.add coll (measure collapsed);
+              (orig, coll))
+            streams
+        in
+        let orig_acc, coll_acc =
+          Array.fold_left
+            (fun (oa, ca) (o, c) ->
+              (Stats.Running.merge oa o, Stats.Running.merge ca c))
+            (Stats.Running.create (), Stats.Running.create ())
+            cells
+        in
         let orig = Stats.Running.mean orig_acc in
         let coll = Stats.Running.mean coll_acc in
         ( [ label; Tables.cell orig; Tables.cell coll;
@@ -912,24 +938,39 @@ let b1 ~seed ~quick =
   let ratio_rows =
     List.map
       (fun (label, build) ->
-        let accs =
-          List.map (fun _ -> Stats.Running.create ()) Network.Pm_algorithms.all
+        let streams = Array.init seeds (Prng.Stream.replicate base) in
+        let alg_streams =
+          Array.init seeds (fun i -> Prng.Stream.replicate base (100 + i))
         in
-        for i = 0 to seeds - 1 do
-          let rng = Prng.Stream.replicate base i in
-          let graph = build rng in
-          let metric = Network.Dijkstra.all_pairs graph in
-          let inst = Network.Pm_model.localized_requests graph ~t:t_len rng in
-          let opt = Network.Pm_offline.optimum metric ~d_factor:d inst in
-          List.iter2
-            (fun alg acc ->
-              let alg_rng = Prng.Stream.replicate base (100 + i) in
-              let run =
-                Network.Pm_model.run ~rng:alg_rng metric ~d_factor:d alg inst
+        let cells =
+          Exec.mapi
+            (fun i rng ->
+              let graph = build rng in
+              let metric = Network.Dijkstra.all_pairs graph in
+              let inst =
+                Network.Pm_model.localized_requests graph ~t:t_len rng
               in
-              Stats.Running.add acc (Network.Pm_model.total run /. opt))
-            Network.Pm_algorithms.all accs
-        done;
+              let opt = Network.Pm_offline.optimum metric ~d_factor:d inst in
+              List.map
+                (fun alg ->
+                  let alg_rng = Prng.Xoshiro.copy alg_streams.(i) in
+                  let run =
+                    Network.Pm_model.run ~rng:alg_rng metric ~d_factor:d alg
+                      inst
+                  in
+                  let acc = Stats.Running.create () in
+                  Stats.Running.add acc (Network.Pm_model.total run /. opt);
+                  acc)
+                Network.Pm_algorithms.all)
+            streams
+        in
+        let accs =
+          Array.fold_left
+            (fun accs cell -> List.map2 Stats.Running.merge accs cell)
+            (List.map (fun _ -> Stats.Running.create ())
+               Network.Pm_algorithms.all)
+            cells
+        in
         label
         :: List.map (fun acc -> Tables.cell (Stats.Running.mean acc)) accs)
       graphs
@@ -958,7 +999,9 @@ let b1 ~seed ~quick =
     in
     let mobile = Network.Embedding.to_mobile_instance ~layout pm_inst in
     let uncapped = Network.Pm_offline.optimum metric ~d_factor:d pm_inst in
-    List.map
+    (* Each movement cap is an independent offline solve on the shared
+       (immutable) embedded instance. *)
+    Exec.map_list
       (fun m ->
         let config = Config.make ~d_factor:d ~move_limit:m ~delta:0.0 () in
         let capped =
@@ -1016,26 +1059,39 @@ let x1 ~seed ~quick =
     List.map
       (fun k ->
         let base = Prng.Stream.named ~name:(fmt "x1-k%d" k) ~seed in
-        let accs = List.map (fun _ -> Stats.Running.create ()) algorithms in
-        let bound_label = ref "" in
-        let bound_acc = Stats.Running.create () in
-        for i = 0 to seeds - 1 do
-          let rng = Prng.Stream.replicate base i in
-          let inst =
-            Workloads.Hotspots.generate ~hotspots:3 ~dim:2 ~t:t_len rng
-          in
-          let bound, label = Multi.Fleet_offline.best_upper ~k config inst rng in
-          bound_label := label;
-          Stats.Running.add bound_acc bound;
-          List.iter2
-            (fun alg acc ->
-              let alg_rng = Prng.Stream.replicate base (100 + i) in
-              let cost =
-                Multi.Fleet_engine.total_cost ~rng:alg_rng ~k config alg inst
+        let streams = Array.init seeds (Prng.Stream.replicate base) in
+        let alg_streams =
+          Array.init seeds (fun i -> Prng.Stream.replicate base (100 + i))
+        in
+        let cells =
+          Exec.mapi
+            (fun i rng ->
+              let inst =
+                Workloads.Hotspots.generate ~hotspots:3 ~dim:2 ~t:t_len rng
               in
-              Stats.Running.add acc cost)
-            algorithms accs
-        done;
+              let bound, label =
+                Multi.Fleet_offline.best_upper ~k config inst rng
+              in
+              let costs =
+                List.map
+                  (fun alg ->
+                    let alg_rng = Prng.Xoshiro.copy alg_streams.(i) in
+                    Multi.Fleet_engine.total_cost ~rng:alg_rng ~k config alg
+                      inst)
+                  algorithms
+              in
+              (costs, bound, label))
+            streams
+        in
+        let accs = List.map (fun _ -> Stats.Running.create ()) algorithms in
+        let bound_acc = Stats.Running.create () in
+        let bound_label = ref "" in
+        Array.iter
+          (fun (costs, bound, label) ->
+            List.iter2 Stats.Running.add accs costs;
+            Stats.Running.add bound_acc bound;
+            bound_label := label)
+          cells;
         string_of_int k
         :: (List.map (fun acc -> Tables.cell (Stats.Running.mean acc)) accs
             @ [ Tables.cell (Stats.Running.mean bound_acc); !bound_label ]))

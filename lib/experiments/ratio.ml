@@ -19,11 +19,12 @@ let cost_pair ?rng config alg inst ~opt =
 let replicated ~seeds ~base_seed ~name f =
   if seeds < 1 then invalid_arg "Ratio: seeds < 1";
   let base = Prng.Stream.named ~name ~seed:base_seed in
-  let ratios =
-    Array.init seeds (fun i ->
-        let rng = Prng.Stream.replicate base i in
-        f rng)
-  in
+  (* Derive every replicate stream sequentially before fanning out, so
+     no task ever touches shared generator state; the per-cell results
+     are then independent of the execution order and the fan-out is
+     bit-identical at any jobs count (see docs/parallel.md). *)
+  let streams = Array.init seeds (Prng.Stream.replicate base) in
+  let ratios = Exec.map f streams in
   summarize (Prng.Stream.replicate base seeds) ratios
 
 let vs_construction ~seeds ~base_seed ~name config alg gen =

@@ -3,8 +3,13 @@ type row = { x : float; sample : Ratio.sample; predicted : float }
 type t = { knob : string; rows : row list; fit : Stats.Regression.fit option }
 
 let run ~knob ~xs ~predicted f =
+  (* Knob values are independent cells: fan them out over the domain
+     pool.  [f] typically calls {!Ratio} samplers whose per-seed
+     fan-out shares the same pool (nested submitters help drain the
+     queue), and every row lands in its own slot, so the sweep is
+     deterministic at any jobs count. *)
   let rows =
-    List.map (fun x -> { x; sample = f x; predicted = predicted x }) xs
+    Exec.map_list (fun x -> { x; sample = f x; predicted = predicted x }) xs
   in
   let points =
     rows

@@ -91,7 +91,18 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
   let g = k_hi - k_lo + 1 in
   let grid = Array.init g (fun i -> start +. (float_of_int (k_lo + i) *. pitch)) in
   let start_idx = -k_lo in
-  let w = Stdlib.max 1 (int_of_float (Float.floor ((m /. pitch) +. 1e-9))) in
+  let w = int_of_float (Float.floor ((m /. pitch) +. 1e-9)) in
+  (* Coarse-pitch regime: the arena is so wide relative to the grid
+     budget that one grid step already exceeds the movement limit.
+     Clamping the window to 1 here would let the DP hop [pitch > m] per
+     round and return an infeasible trajectory, so fail loudly instead. *)
+  if w < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Line_dp.solve: grid pitch %g exceeds movement limit m = %g \
+          (arena width %g over a %d-point grid budget at T = %d); the \
+          instance is too wide for an exact solve at this resolution"
+         pitch m width max_grid t_len);
   Log.debug (fun msg ->
       msg "T=%d: grid of %d points (pitch %.3g, window %d)" t_len g pitch w);
   let inf = infinity in

@@ -35,7 +35,11 @@ val solve : ?grid_per_m:int -> Mobile_server.Config.t ->
 (** [solve config inst] computes the offline optimum of a 1-D instance.
     [grid_per_m] (default 64) sets the refinement: the pitch is at most
     [m / grid_per_m].  Raises [Invalid_argument] if [Instance.dim inst
-    <> 1] or the instance is empty.
+    <> 1], the instance is empty, or the arena is so wide relative to
+    the memory-bounded grid budget that the pitch exceeds the movement
+    limit [m] (a window of zero grid steps — no feasible discretized
+    move exists, and silently widening it would return an infeasible
+    trajectory).
 
     The movement budget used is [Config.offline_limit] — the optimum is
     never augmented. *)

@@ -1,7 +1,19 @@
+(* Non-finite observations are rejected loudly, matching [Running.add]:
+   Float.compare sorts NaNs to one end (silently shifting every
+   quantile), and a NaN run through the histogram's bin arithmetic
+   lands in bin 0 via [int_of_float nan = 0]. *)
+let ensure_finite fname xs =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg (fname ^ ": non-finite observation"))
+    xs
+
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile.quantile: empty sample";
   if q < 0.0 || q > 1.0 then invalid_arg "Quantile.quantile: q outside [0,1]";
+  ensure_finite "Quantile.quantile" xs;
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
@@ -21,6 +33,7 @@ let histogram ~bins xs =
   if bins < 1 then invalid_arg "Quantile.histogram: bins < 1";
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile.histogram: empty sample";
+  ensure_finite "Quantile.histogram" xs;
   let lo = Array.fold_left Float.min xs.(0) xs in
   let hi = Array.fold_left Float.max xs.(0) xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in

@@ -44,6 +44,11 @@ let max acc = acc.hi
 
 let sum acc = acc.total
 
+let of_array xs =
+  let acc = create () in
+  Array.iter (add acc) xs;
+  acc
+
 let merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }
@@ -62,3 +67,5 @@ let merge a b =
       total = a.total +. b.total;
     }
   end
+
+let merge_many accs = Array.fold_left merge (create ()) accs

@@ -177,6 +177,25 @@ let markdown_report_renders () =
      in
      scan 0)
 
+let catalog_identical_across_jobs () =
+  (* The Exec determinism contract, end to end: a catalog experiment
+     rendered at jobs=2 must be byte-identical to jobs=1. *)
+  let before = Exec.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Exec.set_jobs before)
+    (fun () ->
+      Exec.set_jobs 1;
+      let seq =
+        Experiments.Catalog.result_to_markdown
+          (Experiments.Catalog.run ~quick:true "e2")
+      in
+      Exec.set_jobs 2;
+      let par =
+        Experiments.Catalog.result_to_markdown
+          (Experiments.Catalog.run ~quick:true "e2")
+      in
+      Alcotest.(check string) "byte-identical report" seq par)
+
 let catalog_seed_changes_nothing_structural () =
   let a = Experiments.Catalog.run ~seed:1 ~quick:true "e2" in
   let b = Experiments.Catalog.run ~seed:2 ~quick:true "e2" in
@@ -223,6 +242,8 @@ let () =
           Alcotest.test_case "b1 quick" `Slow (catalog_quick_fast "b1");
           Alcotest.test_case "e1 findings" `Quick catalog_e1_grows;
           Alcotest.test_case "e9 invariant" `Quick catalog_e9_invariant_holds;
+          Alcotest.test_case "identical across jobs" `Quick
+            catalog_identical_across_jobs;
           Alcotest.test_case "structure seed-stable" `Quick
             catalog_seed_changes_nothing_structural;
           Alcotest.test_case "markdown report" `Quick markdown_report_renders;

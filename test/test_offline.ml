@@ -68,6 +68,25 @@ let line_dp_positions_feasible_and_priced () =
   Alcotest.(check (float 1e-6)) "self-consistent" sol.Offline.Line_dp.cost
     priced
 
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let line_dp_coarse_pitch_rejected () =
+  (* Arena 100000 wide at T = 2: the memory-bounded grid budget forces a
+     pitch larger than m = 1, so no discretized move is feasible.  The
+     solver used to clamp the window to one grid step and silently
+     return a trajectory that hops [pitch > m] per round. *)
+  let config = Config.make ~d_factor:1.0 ~move_limit:1.0 () in
+  let inst = inst_1d [ [ 0.0 ]; [ 100_000.0 ] ] in
+  match Offline.Line_dp.solve config inst with
+  | _ -> Alcotest.fail "expected Invalid_argument in the coarse-pitch regime"
+  | exception Invalid_argument msg ->
+    if not (contains ~needle:"pitch" msg
+            && contains ~needle:"movement limit" msg) then
+      Alcotest.failf "unhelpful coarse-pitch error: %s" msg
+
 let line_dp_rejects_bad_input () =
   let config = Config.make () in
   Alcotest.check_raises "2-D rejected"
@@ -283,6 +302,25 @@ let qcheck_dp_beats_any_feasible_plan =
       in
       dp <= plan_cost +. (0.02 *. Float.max 1.0 plan_cost))
 
+let qcheck_dp_output_always_feasible =
+  QCheck.Test.make ~count:40
+    ~name:"line DP trajectories always pass Cost.feasible"
+    QCheck.(triple small_int (int_range 2 30) (int_range 1 4))
+    (fun (seed, t, d) ->
+      let rng = Prng.Xoshiro.create (Int64.of_int (seed + 2000)) in
+      let inst = random_small_instance rng ~t ~r_max:3 in
+      let m = Prng.Dist.uniform rng ~lo:0.5 ~hi:2.0 in
+      let variant =
+        if Prng.Dist.fair_coin rng then Variant.Move_first
+        else Variant.Serve_first
+      in
+      let config =
+        Config.make ~d_factor:(float_of_int d) ~move_limit:m ~variant ()
+      in
+      let sol = Offline.Line_dp.solve config inst in
+      Cost.feasible ~limit:(Config.offline_limit config)
+        ~start:inst.Instance.start sol.Offline.Line_dp.positions)
+
 let () =
   Alcotest.run "offline"
     [
@@ -294,6 +332,8 @@ let () =
           Alcotest.test_case "feasible + self-consistent" `Quick
             line_dp_positions_feasible_and_priced;
           Alcotest.test_case "rejects bad input" `Quick line_dp_rejects_bad_input;
+          Alcotest.test_case "coarse pitch rejected" `Quick
+            line_dp_coarse_pitch_rejected;
           Alcotest.test_case "matches brute" `Slow line_dp_matches_brute;
         ] );
       ( "convex",
@@ -323,5 +363,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_dp_beats_any_feasible_plan ] );
+          [ qcheck_dp_beats_any_feasible_plan;
+            qcheck_dp_output_always_feasible ] );
     ]

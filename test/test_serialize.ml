@@ -104,8 +104,22 @@ let trajectory_missing_round () =
   match Serialize.trajectory_of_string text with
   | Ok _ -> Alcotest.fail "expected missing-round error"
   | Error msg ->
-    Alcotest.(check bool) "mentions the round" true
-      (String.length msg > 0)
+    Alcotest.(check bool) "names the missing round" true
+      (contains ~needle:"round 1" msg && contains ~needle:"no position" msg)
+
+let trajectory_duplicate_round () =
+  (* A second [pos] for the same round used to win silently. *)
+  let text =
+    "# mobile-server-trajectory v1\ndim 1\nrounds 2\nstart 0\n\
+     pos 0 1\npos 1 2\npos 0 3\n"
+  in
+  match Serialize.trajectory_of_string text with
+  | Ok _ -> Alcotest.fail "expected duplicate-round error"
+  | Error msg ->
+    Alcotest.(check bool) "mentions the duplicate and its line" true
+      (contains ~needle:"duplicate" msg
+       && contains ~needle:"round 0" msg
+       && contains ~needle:"line 7" msg)
 
 let run_to_csv_shape () =
   let inst = sample_instance () in
@@ -191,6 +205,7 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick trajectory_round_trip;
           Alcotest.test_case "missing round" `Quick trajectory_missing_round;
+          Alcotest.test_case "duplicate round" `Quick trajectory_duplicate_round;
         ] );
       ( "csv",
         [

@@ -49,6 +49,20 @@ let running_merge_empty () =
   let merged = Stats.Running.merge a (Stats.Running.create ()) in
   check_float "mean survives" 3.0 (Stats.Running.mean merged)
 
+let running_of_array_merge_many () =
+  let xs = Array.init 60 (fun i -> sin (float_of_int i)) in
+  let all = Stats.Running.of_array xs in
+  let parts =
+    Array.init 6 (fun p -> Stats.Running.of_array (Array.sub xs (p * 10) 10))
+  in
+  let merged = Stats.Running.merge_many parts in
+  Alcotest.(check int) "count" 60 (Stats.Running.count merged);
+  check_loose "mean" (Stats.Running.mean all) (Stats.Running.mean merged);
+  check_loose "variance" (Stats.Running.variance all)
+    (Stats.Running.variance merged);
+  check_float "min" (Stats.Running.min all) (Stats.Running.min merged);
+  check_float "max" (Stats.Running.max all) (Stats.Running.max merged)
+
 let running_std_error () =
   let acc = Stats.Running.create () in
   List.iter (Stats.Running.add acc) [ 1.0; 2.0; 3.0; 4.0 ];
@@ -79,6 +93,22 @@ let quantile_errors () =
   Alcotest.check_raises "bad q"
     (Invalid_argument "Quantile.quantile: q outside [0,1]") (fun () ->
       ignore (Stats.Quantile.quantile [| 1.0 |] 1.5))
+
+let quantile_rejects_non_finite () =
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Quantile.quantile: non-finite observation") (fun () ->
+      ignore (Stats.Quantile.quantile [| 1.0; Float.nan; 2.0 |] 0.5));
+  Alcotest.check_raises "infinity"
+    (Invalid_argument "Quantile.quantile: non-finite observation") (fun () ->
+      ignore (Stats.Quantile.median [| Float.infinity |]))
+
+let histogram_rejects_non_finite () =
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Quantile.histogram: non-finite observation") (fun () ->
+      ignore (Stats.Quantile.histogram ~bins:2 [| 0.0; Float.nan; 1.0 |]));
+  Alcotest.check_raises "neg infinity"
+    (Invalid_argument "Quantile.histogram: non-finite observation") (fun () ->
+      ignore (Stats.Quantile.histogram ~bins:2 [| Float.neg_infinity; 1.0 |]))
 
 let iqr_known () =
   let xs = Array.init 101 (fun i -> float_of_int i) in
@@ -204,6 +234,8 @@ let () =
           Alcotest.test_case "rejects nan" `Quick running_rejects_nan;
           Alcotest.test_case "merge" `Quick running_merge;
           Alcotest.test_case "merge empty" `Quick running_merge_empty;
+          Alcotest.test_case "of_array + merge_many" `Quick
+            running_of_array_merge_many;
           Alcotest.test_case "std error" `Quick running_std_error;
         ] );
       ( "quantile",
@@ -212,6 +244,10 @@ let () =
           Alcotest.test_case "unsorted input" `Quick quantile_unsorted_input;
           Alcotest.test_case "preserves input" `Quick quantile_preserves_input;
           Alcotest.test_case "errors" `Quick quantile_errors;
+          Alcotest.test_case "rejects non-finite" `Quick
+            quantile_rejects_non_finite;
+          Alcotest.test_case "histogram rejects non-finite" `Quick
+            histogram_rejects_non_finite;
           Alcotest.test_case "iqr" `Quick iqr_known;
           Alcotest.test_case "histogram" `Quick histogram_counts;
           Alcotest.test_case "histogram degenerate" `Quick histogram_degenerate;
