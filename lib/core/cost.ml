@@ -36,14 +36,19 @@ let trajectory config ~start positions inst =
 
 let feasible ?(tol = 1e-9) ~limit ~start positions =
   let slack = limit +. (tol *. Float.max 1.0 limit) in
+  let n = Array.length positions in
   let ok = ref true in
   let prev = ref start in
-  Array.iter
-    (fun p ->
-      (* A NaN distance compares false against any slack, so an explicit
-         finiteness test is required to reject garbage trajectories. *)
-      let d = Vec.dist !prev p in
-      if (not (Float.is_finite d)) || d > slack then ok := false;
-      prev := p)
-    positions;
+  let i = ref 0 in
+  (* Stop at the first violation: long infeasible trajectories used to
+     be scanned to the end for a verdict already decided. *)
+  while !ok && !i < n do
+    let p = positions.(!i) in
+    (* A NaN distance compares false against any slack, so an explicit
+       finiteness test is required to reject garbage trajectories. *)
+    let d = Vec.dist !prev p in
+    if (not (Float.is_finite d)) || d > slack then ok := false;
+    prev := p;
+    incr i
+  done;
   !ok

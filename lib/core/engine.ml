@@ -28,6 +28,21 @@ let clamp_tol = 1e-9
 let exceeds_limit ~from ~limit proposed =
   Vec.dist from proposed > limit +. (clamp_tol *. Float.max 1.0 limit)
 
+(* [Vec.move_towards] rejects a non-finite gap, so the engine decides
+   explicitly what a non-finite proposal does: it poisons the position
+   with NaNs (the pre-fix observable behavior), letting the {!Analysis}
+   auditor report Non_finite_position / Non_finite_cost instead of the
+   run dying mid-trajectory.  A finite proposal from a finite position
+   goes through the ordinary clamp. *)
+let is_finite_vec v = Array.for_all Float.is_finite v
+
+let next_position ~from ~limit proposed =
+  if Vec.dim proposed <> Vec.dim from then
+    invalid_arg "Engine: proposal dimension mismatch";
+  if is_finite_vec proposed && is_finite_vec from then
+    Vec.clamp_step ~from limit proposed
+  else Array.make (Vec.dim from) Float.nan
+
 let iter ?rng config (alg : Algorithm.t) (inst : Instance.t) f =
   let stepper = alg.make ?rng config ~start:inst.start in
   let limit = Config.online_limit config in
@@ -36,7 +51,7 @@ let iter ?rng config (alg : Algorithm.t) (inst : Instance.t) f =
     (fun round requests ->
       let proposed = stepper requests in
       let clamped = exceeds_limit ~from:!pos ~limit proposed in
-      let next = Vec.clamp_step ~from:!pos limit proposed in
+      let next = next_position ~from:!pos ~limit proposed in
       let cost = Cost.step config ~from:!pos ~to_:next requests in
       pos := next;
       f { round; position = next; proposed; clamped; cost })
@@ -92,7 +107,9 @@ module Session = struct
     let clamped =
       exceeds_limit ~from:session.position ~limit:session.limit proposed
     in
-    let next = Vec.clamp_step ~from:session.position session.limit proposed in
+    let next =
+      next_position ~from:session.position ~limit:session.limit proposed
+    in
     let cost = Cost.step session.config ~from:session.position ~to_:next requests in
     session.position <- next;
     session.cost <- Cost.add session.cost cost;

@@ -1,0 +1,24 @@
+module Config = Mobile_server.Config
+module Engine = Mobile_server.Engine
+module Instance = Mobile_server.Instance
+module Mtc = Mobile_server.Mtc
+module Serialize = Mobile_server.Serialize
+
+let instance () =
+  Workloads.Clusters.generate ~dim:2 ~t:120
+    (Prng.Stream.named ~name:"t1-clusters" ~seed:42)
+
+let config () = Config.make ~d_factor:4.0 ~move_limit:1.0 ~delta:0.0 ()
+
+let run_with config =
+  let inst = instance () in
+  (inst, Engine.run config Mtc.algorithm inst)
+
+let trajectory_string_with config =
+  let inst, run = run_with config in
+  Serialize.trajectory_to_string ~start:inst.Instance.start
+    run.Engine.positions
+
+let trajectory_string () = trajectory_string_with (config ())
+
+let golden_path = "test/golden/t1_default.trajectory"

@@ -16,34 +16,51 @@ let median_1d ?(tie_break = 0.0) xs =
     clamp lower upper tie_break
 
 (* All points within [eps] of the line through [origin] with unit
-   direction [dir]? *)
+   direction [dir]?  Two scratch buffers are reused across points; the
+   arithmetic is the reference [sub]/[scale]/[norm] chain verbatim. *)
 let collinear_along ~origin ~dir ~eps points =
+  let d = Array.length origin in
+  let diff = Array.make d 0.0 in
+  let off = Array.make d 0.0 in
   Array.for_all
     (fun p ->
-      let d = Vec.sub p origin in
-      let along = Vec.dot d dir in
-      let off = Vec.sub d (Vec.scale along dir) in
+      Vec.sub_into diff p origin;
+      let along = Vec.dot diff dir in
+      for i = 0 to d - 1 do
+        off.(i) <- diff.(i) -. (along *. dir.(i))
+      done;
       Vec.norm off <= eps)
     points
 
 (* Orthogonal projection of [p] onto the segment [a, b]. *)
 let project_segment a b p =
-  let ab = Vec.sub b a in
-  let len2 = Vec.norm2 ab in
+  let len2 = Vec.dist2 b a in
   if len2 < 1e-300 then Vec.copy a
-  else
-    let s = clamp 0.0 1.0 (Vec.dot (Vec.sub p a) ab /. len2) in
+  else begin
+    let dot_pa_ba = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      dot_pa_ba := !dot_pa_ba +. ((p.(i) -. a.(i)) *. (b.(i) -. a.(i)))
+    done;
+    let s = clamp 0.0 1.0 (!dot_pa_ba /. len2) in
     Vec.lerp a b s
+  end
 
 (* Median of exactly collinear points: reduce to 1-D coordinates along
    the line, tie-break by the projected tie-break coordinate. *)
+let along_line ~origin ~dir p =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length origin - 1 do
+    acc := !acc +. ((p.(i) -. origin.(i)) *. dir.(i))
+  done;
+  !acc
+
 let collinear_median ~origin ~dir ~tie_break points =
-  let coords = Array.map (fun p -> Vec.dot (Vec.sub p origin) dir) points in
-  let tb = Vec.dot (Vec.sub tie_break origin) dir in
+  let coords = Array.map (along_line ~origin ~dir) points in
+  let tb = along_line ~origin ~dir tie_break in
   let c = median_1d ~tie_break:tb coords in
   Vec.add origin (Vec.scale c dir)
 
-let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
+let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break ?init points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Median.weiszfeld: empty array";
   let d = Vec.dim points.(0) in
@@ -52,6 +69,10 @@ let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
       if Vec.dim p <> d then
         invalid_arg "Median.weiszfeld: mixed dimensions")
     points;
+  (match init with
+   | Some v when Vec.dim v <> d ->
+     invalid_arg "Median.weiszfeld: init dimension mismatch"
+   | Some _ | None -> ());
   let tie_break = match tie_break with Some t -> t | None -> Vec.zero d in
   if n = 1 then Vec.copy points.(0)
   else if d = 1 then
@@ -83,30 +104,46 @@ let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
            else collinear_median ~origin ~dir ~tie_break points)
         else begin
           (* Vardi–Zhang modified Weiszfeld iteration.  Start from the
-             centroid, which is never worse than 2x optimal. *)
-          let y = ref (Vec.centroid points) in
+             centroid — never worse than 2x optimal — or, when the
+             caller supplies [?init], from that iterate (MtC warm
+             start: consecutive rounds move the median only slightly,
+             so the previous center converges in a fraction of the
+             iterations).  The iterate, the candidate step and the two
+             per-iteration accumulators live in four scratch buffers
+             reused across iterations; all arithmetic is in the exact
+             order of the allocating reference, so a run started from
+             the centroid is bit-identical to it. *)
+          let y = match init with
+            | Some v -> Vec.copy v
+            | None -> Vec.centroid points
+          in
+          let next = Array.make d 0.0 in
+          let weighted = Array.make d 0.0 in
+          let resultant = Array.make d 0.0 in
           let tol = Float.max eps (eps *. spread) in
+          (* Loop-invariant: the anchor radius depends only on the
+             spread, not on the iterate. *)
+          let anchor_eps = 1e-13 *. spread in
           let iter = ref 0 in
           let continue = ref true in
           while !continue && !iter < max_iter do
             incr iter;
             (* Multiplicity of the current iterate among the inputs and
                the weighted resultant of the other points. *)
-            let anchor_eps = 1e-13 *. spread in
             let multiplicity = ref 0 in
             let inv_sum = ref 0.0 in
-            let weighted = Array.make d 0.0 in
-            let resultant = Array.make d 0.0 in
+            Array.fill weighted 0 d 0.0;
+            Array.fill resultant 0 d 0.0;
             Array.iter
               (fun p ->
-                let dist = Vec.dist !y p in
+                let dist = Vec.dist y p in
                 if dist <= anchor_eps then incr multiplicity
                 else begin
                   let w = 1.0 /. dist in
                   inv_sum := !inv_sum +. w;
                   for i = 0 to d - 1 do
                     weighted.(i) <- weighted.(i) +. (w *. p.(i));
-                    resultant.(i) <- resultant.(i) +. (w *. (p.(i) -. !y.(i)))
+                    resultant.(i) <- resultant.(i) +. (w *. (p.(i) -. y.(i)))
                   done
                 end)
               points;
@@ -114,32 +151,34 @@ let weiszfeld ?(eps = 1e-10) ?(max_iter = 200) ?tie_break points =
               (* All points coincide with the iterate. *)
               continue := false
             else begin
-              let t = Array.map (fun w -> w /. !inv_sum) weighted in
-              let next =
-                if !multiplicity = 0 then t
-                else begin
-                  let r = Vec.norm resultant in
-                  let k = float_of_int !multiplicity in
-                  if r <= k then begin
-                    (* The anchor point is optimal. *)
-                    continue := false;
-                    Vec.copy !y
-                  end
-                  else
-                    let beta = k /. r in
-                    Vec.add (Vec.scale (1.0 -. beta) t) (Vec.scale beta !y)
+              for i = 0 to d - 1 do
+                next.(i) <- weighted.(i) /. !inv_sum
+              done;
+              if !multiplicity > 0 then begin
+                let r = Vec.norm resultant in
+                let k = float_of_int !multiplicity in
+                if r <= k then begin
+                  (* The anchor point is optimal. *)
+                  continue := false;
+                  Array.blit y 0 next 0 d
                 end
-              in
-              if Vec.dist next !y <= tol then continue := false;
-              y := next
+                else begin
+                  let beta = k /. r in
+                  for i = 0 to d - 1 do
+                    next.(i) <- ((1.0 -. beta) *. next.(i)) +. (beta *. y.(i))
+                  done
+                end
+              end;
+              if Vec.dist next y <= tol then continue := false;
+              Array.blit next 0 y 0 d
             end
           done;
-          !y
+          y
         end
     end
   end
 
-let center ~server requests =
+let center ?init ~server requests =
   let n = Array.length requests in
   if n = 0 then invalid_arg "Median.center: no requests";
   Array.iter
@@ -150,7 +189,7 @@ let center ~server requests =
   match n with
   | 1 -> Vec.copy requests.(0)
   | 2 -> project_segment requests.(0) requests.(1) server
-  | _ -> weiszfeld ~tie_break:server requests
+  | _ -> weiszfeld ~tie_break:server ?init requests
 
 let mean_center ~server requests =
   if Array.length requests = 0 then invalid_arg "Median.mean_center: no requests";

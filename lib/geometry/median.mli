@@ -23,10 +23,21 @@ val median_1d : ?tie_break:float -> float array -> float
     (default [0.]). *)
 
 val weiszfeld :
-  ?eps:float -> ?max_iter:int -> ?tie_break:Vec.t -> Vec.t array -> Vec.t
+  ?eps:float -> ?max_iter:int -> ?tie_break:Vec.t -> ?init:Vec.t ->
+  Vec.t array -> Vec.t
 (** [weiszfeld points] is the geometric median of a non-empty array of
     points of equal dimension, to absolute step tolerance [eps]
     (default [1e-10], at most [max_iter] = 200 iterations).
+
+    [init] is the starting iterate (default: the centroid, a
+    2-approximation).  Passing the previous round's median warm-starts
+    the iteration — MtC's consecutive centers move only slightly, so a
+    warm start converges in a fraction of the iterations.  The starting
+    iterate only affects {e how fast} the iteration converges, not what
+    it converges to (up to the step tolerance); [init] is ignored by the
+    1-D, single-point and exactly-collinear branches, which are direct.
+    Raises [Invalid_argument] if [init]'s dimension does not match the
+    points.
 
     Uses the Vardi–Zhang update: when the current iterate coincides with
     an input point of multiplicity [k], the pull of that point is
@@ -40,13 +51,15 @@ val weiszfeld :
     the returned point is then the segment point closest to
     [tie_break]. *)
 
-val center : server:Vec.t -> Vec.t array -> Vec.t
+val center : ?init:Vec.t -> server:Vec.t -> Vec.t array -> Vec.t
 (** [center ~server requests] is the paper's center point [c]: the
     geometric median of [requests], ties broken toward [server].
     Requires a non-empty request array whose dimension matches
     [server].  Special cases: one request returns that request; two
     requests return the segment point closest to [server] (the whole
-    segment is optimal). *)
+    segment is optimal).  [init] warm-starts the underlying
+    {!weiszfeld} iteration (see there); it never changes which point
+    the iteration targets. *)
 
 val mean_center : server:Vec.t -> Vec.t array -> Vec.t
 (** [mean_center ~server requests] is the centroid of the requests — a

@@ -49,6 +49,42 @@ let scale k v = Array.map (fun c -> k *. c) v
 
 let neg v = scale (-1.0) v
 
+(* In-place kernels over caller-owned buffers.  Each coordinate of the
+   destination depends only on the same coordinate of the sources, so
+   aliasing [dst] with a source is safe. *)
+
+let check_dst name dst u =
+  if Array.length dst <> Array.length u then
+    invalid_arg (Printf.sprintf "Vec.%s: destination dimension mismatch (%d vs %d)"
+                   name (Array.length dst) (Array.length u))
+
+let add_into dst u v =
+  check_dim "add_into" u v;
+  check_dst "add_into" dst u;
+  for i = 0 to Array.length u - 1 do
+    dst.(i) <- u.(i) +. v.(i)
+  done
+
+let sub_into dst u v =
+  check_dim "sub_into" u v;
+  check_dst "sub_into" dst u;
+  for i = 0 to Array.length u - 1 do
+    dst.(i) <- u.(i) -. v.(i)
+  done
+
+let scale_into dst k v =
+  check_dst "scale_into" dst v;
+  for i = 0 to Array.length v - 1 do
+    dst.(i) <- k *. v.(i)
+  done
+
+let lerp_into dst a b s =
+  check_dim "lerp_into" a b;
+  check_dst "lerp_into" dst a;
+  for i = 0 to Array.length a - 1 do
+    dst.(i) <- a.(i) +. (s *. (b.(i) -. a.(i)))
+  done
+
 let dot u v =
   check_dim "dot" u v;
   let acc = ref 0.0 in
@@ -73,9 +109,39 @@ let norm v =
     m *. sqrt !acc
   end
 
-let dist u v = norm (sub u v)
+(* [dist]/[dist2] fuse the subtraction into the reduction: the
+   difference coordinates are recomputed on the fly instead of being
+   materialized, with exactly the arithmetic (and rounding) of
+   [norm (sub u v)] / [norm2 (sub u v)] — the differential suite
+   (test_perf_equiv) checks bit-equality against those references. *)
 
-let dist2 u v = norm2 (sub u v)
+let dist u v =
+  check_dim "dist" u v;
+  let n = Array.length u in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (u.(i) -. v.(i)))
+  done;
+  let m = !m in
+  if Float.equal m 0.0 then 0.0
+  else if Float.equal m infinity then infinity
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let c = (u.(i) -. v.(i)) /. m in
+      acc := !acc +. (c *. c)
+    done;
+    m *. sqrt !acc
+  end
+
+let dist2 u v =
+  check_dim "dist2" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    let c = u.(i) -. v.(i) in
+    acc := !acc +. (c *. c)
+  done;
+  !acc
 
 let normalize v =
   let n = norm v in
@@ -88,6 +154,10 @@ let lerp a b s =
 let move_towards p target d =
   if d < 0.0 then invalid_arg "Vec.move_towards: negative distance";
   let gap = dist p target in
+  (* A NaN (or overflowed) gap used to fall through to [lerp] with
+     [d /. gap = NaN] and silently return a NaN vector. *)
+  if not (Float.is_finite gap) then
+    invalid_arg "Vec.move_towards: non-finite gap";
   if gap <= d || Float.equal gap 0.0 then copy target
   else lerp p target (d /. gap)
 
@@ -105,7 +175,8 @@ let centroid ps =
       acc.(i) <- acc.(i) +. ps.(k).(i)
     done
   done;
-  scale (1.0 /. float_of_int n) acc
+  scale_into acc (1.0 /. float_of_int n) acc;
+  acc
 
 let pp ppf v =
   Format.fprintf ppf "(";

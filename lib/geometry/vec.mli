@@ -51,6 +51,28 @@ val scale : float -> t -> t
 val neg : t -> t
 (** [neg v] is [scale (-1.) v]. *)
 
+(** {2 Allocation-free kernels}
+
+    The [_into] family writes the result into a caller-owned buffer
+    instead of allocating — the engine's hot path (Weiszfeld iterations,
+    per-round cost accounting) reuses a handful of scratch buffers
+    across rounds; see [docs/perf.md] for the buffer-reuse rules.
+    Coordinate [i] of the destination depends only on coordinate [i] of
+    the sources, so the destination may alias a source.  All raise
+    [Invalid_argument] on dimension mismatch. *)
+
+val add_into : t -> t -> t -> unit
+(** [add_into dst u v] stores [add u v] in [dst]. *)
+
+val sub_into : t -> t -> t -> unit
+(** [sub_into dst u v] stores [sub u v] in [dst]. *)
+
+val scale_into : t -> float -> t -> unit
+(** [scale_into dst k v] stores [scale k v] in [dst]. *)
+
+val lerp_into : t -> t -> t -> float -> unit
+(** [lerp_into dst a b s] stores [lerp a b s] in [dst]. *)
+
 val dot : t -> t -> float
 (** Euclidean inner product. *)
 
@@ -61,10 +83,14 @@ val norm2 : t -> float
 (** Squared Euclidean norm. *)
 
 val dist : t -> t -> float
-(** [dist u v] is the Euclidean distance [norm (sub u v)]. *)
+(** [dist u v] is the Euclidean distance — bit-identical to
+    [norm (sub u v)] (same overflow-safe scaling, same summation
+    order), but computed without materialising the difference
+    vector. *)
 
 val dist2 : t -> t -> float
-(** Squared Euclidean distance. *)
+(** Squared Euclidean distance, allocation-free; bit-identical to
+    [norm2 (sub u v)]. *)
 
 val normalize : t -> t option
 (** [normalize v] is the unit vector in [v]'s direction, or [None] if
@@ -77,7 +103,10 @@ val lerp : t -> t -> float -> t
 val move_towards : t -> t -> float -> t
 (** [move_towards p target d] moves [p] distance [min d (dist p target)]
     along the straight line towards [target] — the only motion primitive
-    the Move-to-Center algorithm needs.  [d] must be non-negative. *)
+    the Move-to-Center algorithm needs.  [d] must be non-negative.
+    Raises [Invalid_argument] when [dist p target] is not finite (NaN
+    coordinates in [p] or [target]); it used to return a NaN vector
+    silently. *)
 
 val clamp_step : from:t -> float -> t -> t
 (** [clamp_step ~from limit target] is [target] if

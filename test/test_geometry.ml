@@ -70,6 +70,23 @@ let vec_move_towards_self () =
   let p = Vec.make2 1.0 1.0 in
   Alcotest.check vec "same point" p (Vec.move_towards p p 5.0)
 
+let vec_move_towards_non_finite () =
+  (* A NaN coordinate used to propagate silently: the gap compared
+     false against the distance and the caller got a NaN vector back.
+     Now the non-finite gap is rejected up front. *)
+  let p = Vec.zero 2 in
+  let nan_target = Vec.make2 Float.nan 1.0 in
+  Alcotest.check_raises "nan target"
+    (Invalid_argument "Vec.move_towards: non-finite gap") (fun () ->
+      ignore (Vec.move_towards p nan_target 1.0));
+  let inf_target = Vec.make2 Float.infinity 0.0 in
+  Alcotest.check_raises "infinite target"
+    (Invalid_argument "Vec.move_towards: non-finite gap") (fun () ->
+      ignore (Vec.move_towards p inf_target 1.0));
+  Alcotest.check_raises "nan source"
+    (Invalid_argument "Vec.move_towards: non-finite gap") (fun () ->
+      ignore (Vec.move_towards nan_target p 1.0))
+
 let vec_clamp_step () =
   let from = Vec.zero 2 in
   let target = Vec.make2 10.0 0.0 in
@@ -288,6 +305,8 @@ let () =
           Alcotest.test_case "lerp" `Quick vec_lerp;
           Alcotest.test_case "move_towards" `Quick vec_move_towards;
           Alcotest.test_case "move_towards self" `Quick vec_move_towards_self;
+          Alcotest.test_case "move_towards non-finite" `Quick
+            vec_move_towards_non_finite;
           Alcotest.test_case "clamp_step" `Quick vec_clamp_step;
           Alcotest.test_case "centroid" `Quick vec_centroid;
           Alcotest.test_case "pp" `Quick vec_pp;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Test-coverage report via bisect_ppx, behind `dune build @coverage`.
+#
+# bisect_ppx is an optional dev dependency: when it is not installed
+# (e.g. the pinned reproduction container) the alias prints a notice
+# and succeeds, so @coverage never breaks a build.  When it is
+# installed (CI does `opam install bisect_ppx`), the instrumented test
+# suite runs in its own build dir (_coverage/_build — the regular
+# _build tree and its lock are untouched) and the per-file summary
+# lands in coverage_summary.txt at the repo root.
+set -euo pipefail
+
+cd "${DUNE_SOURCEROOT:-$(git rev-parse --show-toplevel)}"
+# Allow the nested dune invocation below when running under `dune build`.
+unset INSIDE_DUNE || true
+
+if ! ocamlfind query bisect_ppx >/dev/null 2>&1; then
+  echo "coverage: bisect_ppx not installed; skipping" \
+       "(opam install bisect_ppx to enable)"
+  exit 0
+fi
+
+coverage_dir="$PWD/_coverage"
+rm -rf "$coverage_dir"
+mkdir -p "$coverage_dir"
+
+# Instrumented test binaries append one .coverage file each under
+# $BISECT_FILE's directory, wherever dune sandboxes them.
+export BISECT_FILE="$coverage_dir/bisect"
+dune runtest --build-dir="$coverage_dir/_build" \
+  --instrument-with bisect_ppx --force
+
+bisect-ppx-report summary --per-file \
+  --coverage-path "$coverage_dir" > coverage_summary.txt
+echo "coverage: summary written to coverage_summary.txt"
+tail -n 1 coverage_summary.txt
