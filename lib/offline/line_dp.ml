@@ -38,10 +38,13 @@ let service_on_grid grid requests =
 (* Monotone deque: sliding-window minimum of [key] over windows of
    half-width [w], reporting the minimizing index.  Scans left-to-right
    for windows [k-w, k] and (by symmetry, called on reversed data)
-   covers [k, k+w]. *)
-let window_min_left ~w key out_val out_idx =
+   covers [k, k+w].  [deque] is caller-owned scratch of at least
+   [Array.length key] ints — the solver reuses one buffer across all
+   rounds instead of allocating two [g]-sized arrays per round. *)
+let window_min_left ~w ~deque key out_val out_idx =
   let g = Array.length key in
-  let deque = Array.make g 0 in
+  if Array.length deque < g then
+    invalid_arg "Line_dp.window_min_left: deque scratch too small";
   let head = ref 0 and tail = ref 0 in
   for k = 0 to g - 1 do
     (* Drop indices that left the window. *)
@@ -64,12 +67,21 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
   let m = Config.offline_limit config in
   let d_factor = config.Config.d_factor in
   let start = inst.Instance.start.(0) in
-  (* Hull of start and all requests; the optimum never leaves it. *)
+  if not (Float.is_finite start) then
+    invalid_arg "Line_dp.solve: start position is not finite";
+  (* Hull of start and all requests; the optimum never leaves it.  A NaN
+     coordinate would slip past the min/max (every comparison is false),
+     so each coordinate is validated explicitly. *)
   let lo = ref start and hi = ref start in
   Array.iter
     (Array.iter (fun v ->
-         if v.(0) < !lo then lo := v.(0);
-         if v.(0) > !hi then hi := v.(0)))
+         let x = v.(0) in
+         if not (Float.is_finite x) then
+           invalid_arg
+             "Line_dp.solve: request coordinate is not finite (NaN or \
+              infinite)";
+         if x < !lo then lo := x;
+         if x > !hi then hi := x))
     inst.Instance.steps;
   let width = !hi -. !lo in
   (* Keep the parent table (one byte per state per round) within a fixed
@@ -85,9 +97,25 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
     let by_width = if width > 0.0 then width /. float_of_int max_grid else by_m in
     Float.max by_m by_width
   in
-  (* Anchor the grid at the start position so it is represented exactly. *)
-  let k_lo = -(int_of_float (Float.ceil ((start -. !lo) /. pitch))) in
-  let k_hi = int_of_float (Float.ceil ((!hi -. start) /. pitch)) in
+  (* Anchor the grid at the start position so it is represented exactly.
+     Guard the float→int conversions: a non-finite or astronomically
+     wide hull would otherwise silently wrap [int_of_float] (NaN → 0,
+     huge → min_int) and corrupt the grid. *)
+  let cells_lo = Float.ceil ((start -. !lo) /. pitch) in
+  let cells_hi = Float.ceil ((!hi -. start) /. pitch) in
+  let max_cells_f = 1e9 in
+  if
+    not (Float.is_finite cells_lo && Float.is_finite cells_hi)
+    || cells_lo > max_cells_f || cells_hi > max_cells_f
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Line_dp.solve: hull [%g, %g] is too wide for grid construction \
+          (pitch %g yields a non-representable grid index); refusing to \
+          wrap int_of_float"
+         !lo !hi pitch);
+  let k_lo = -(int_of_float cells_lo) in
+  let k_hi = int_of_float cells_hi in
   let g = k_hi - k_lo + 1 in
   let grid = Array.init g (fun i -> start +. (float_of_int (k_lo + i) *. pitch)) in
   let start_idx = -k_lo in
@@ -116,6 +144,7 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
   let right_val = Array.make g 0.0 and right_idx = Array.make g 0 in
   let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
   let next = Array.make g 0.0 in
+  let deque = Array.make g 0 in
   let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
   for t = 0 to t_len - 1 do
     let service = service_on_grid grid inst.Instance.steps.(t) in
@@ -126,12 +155,12 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
     for j = 0 to g - 1 do
       key.(j) <- base j -. (d_factor *. grid.(j))
     done;
-    window_min_left ~w key left_val left_idx;
+    window_min_left ~w ~deque key left_val left_idx;
     (* Right window: j in [k, k+w]; scan the reversed array. *)
     for j = 0 to g - 1 do
       key.(j) <- base (g - 1 - j) +. (d_factor *. grid.(g - 1 - j))
     done;
-    window_min_left ~w key rev_val rev_idx;
+    window_min_left ~w ~deque key rev_val rev_idx;
     for k = 0 to g - 1 do
       right_val.(k) <- rev_val.(g - 1 - k);
       right_idx.(k) <- g - 1 - rev_idx.(g - 1 - k)

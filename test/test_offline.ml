@@ -87,6 +87,26 @@ let line_dp_coarse_pitch_rejected () =
             && contains ~needle:"movement limit" msg) then
       Alcotest.failf "unhelpful coarse-pitch error: %s" msg
 
+let line_dp_non_finite_hull_rejected () =
+  (* Non-finite coordinates used to flow through [int_of_float
+     (Float.ceil …)] during grid construction and silently wrap (NaN →
+     0), yielding a bogus one-point grid instead of an error. *)
+  let config = Config.make ~d_factor:1.0 ~move_limit:1.0 () in
+  let reject label inst =
+    match Offline.Line_dp.solve config inst with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument msg ->
+      if not (contains ~needle:"finite" msg || contains ~needle:"wide" msg)
+      then Alcotest.failf "%s: unhelpful error: %s" label msg
+  in
+  reject "NaN request" (inst_1d [ [ 0.0 ]; [ Float.nan ] ]);
+  reject "infinite request" (inst_1d [ [ 0.0 ]; [ Float.infinity ] ]);
+  reject "-infinite request" (inst_1d [ [ Float.neg_infinity ]; [ 0.0 ] ]);
+  reject "non-finite start"
+    (Instance.make ~start:[| Float.nan |] [| [| [| 0.0 |] |] |]);
+  (* A finite-but-astronomical hull overflows the grid-index floats. *)
+  reject "astronomically wide hull" (inst_1d [ [ -1e308 ]; [ 1e308 ] ])
+
 let line_dp_rejects_bad_input () =
   let config = Config.make () in
   Alcotest.check_raises "2-D rejected"
@@ -334,6 +354,8 @@ let () =
           Alcotest.test_case "rejects bad input" `Quick line_dp_rejects_bad_input;
           Alcotest.test_case "coarse pitch rejected" `Quick
             line_dp_coarse_pitch_rejected;
+          Alcotest.test_case "non-finite hull rejected" `Quick
+            line_dp_non_finite_hull_rejected;
           Alcotest.test_case "matches brute" `Slow line_dp_matches_brute;
         ] );
       ( "convex",
