@@ -34,6 +34,34 @@ let trajectory config ~start positions inst =
   done;
   !acc
 
+(* Same accumulation as [trajectory] — one [step]-shaped breakdown per
+   round, added in round order — with the service sums taken over the
+   flat request buffer ([Points.sum_dist] is bit-identical to
+   [service_cost] on the boxed slice). *)
+let trajectory_packed config ~start positions (p : Instance.Packed.t) =
+  let t_len = Instance.Packed.length p in
+  if Array.length positions <> t_len then
+    invalid_arg
+      (Printf.sprintf "Cost.trajectory_packed: %d positions for %d rounds"
+         (Array.length positions) t_len);
+  let points = Instance.Packed.points p in
+  let acc = ref zero in
+  let prev = ref start in
+  for t = 0 to t_len - 1 do
+    let lo = Instance.Packed.round_start p t in
+    let hi = Instance.Packed.round_start p (t + 1) in
+    let move = config.Config.d_factor *. Vec.dist !prev positions.(t) in
+    let service =
+      match config.Config.variant with
+      | Variant.Move_first ->
+        Geometry.Points.sum_dist points ~lo ~hi positions.(t)
+      | Variant.Serve_first -> Geometry.Points.sum_dist points ~lo ~hi !prev
+    in
+    acc := add !acc { move; service };
+    prev := positions.(t)
+  done;
+  !acc
+
 let feasible ?(tol = 1e-9) ~limit ~start positions =
   let slack = limit +. (tol *. Float.max 1.0 limit) in
   let n = Array.length positions in

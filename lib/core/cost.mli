@@ -40,6 +40,15 @@ val trajectory :
     matching dimension.  No movement-limit check is performed here — use
     {!feasible} for that. *)
 
+val trajectory_packed :
+  Config.t -> start:Geometry.Vec.t -> Geometry.Vec.t array ->
+  Instance.Packed.t -> breakdown
+(** [trajectory_packed config ~start positions p] is {!trajectory} on
+    the struct-of-arrays view — bit-identical to pricing the boxed
+    instance (same per-round breakdowns, same summation order), but the
+    service sums iterate the flat request buffer with no per-request
+    boxing. *)
+
 val feasible :
   ?tol:float -> limit:float -> start:Geometry.Vec.t ->
   Geometry.Vec.t array -> bool

@@ -73,6 +73,69 @@ let total_cost ?rng config alg inst =
   iter ?rng config alg inst (fun { cost; _ } -> total := Cost.add !total cost);
   Cost.total !total
 
+(* Packed replay: per-round request views are materialized into a
+   fixed set of scratch vectors, so no request is boxed per round and
+   no per-round array is allocated.  [views.(r)] shares the first [r]
+   scratch vectors; both the algorithm stepper and the cost accounting
+   see ordinary [Vec.t array] values with exactly the boxed
+   coordinates, so the round arithmetic (and hence the run) is
+   bit-identical to [iter] on the unpacked instance.  Contract: the
+   algorithm must not retain the request array or its vectors across
+   rounds — they are overwritten by the next round (every in-tree
+   algorithm copies what it keeps). *)
+let iter_packed ?rng config (alg : Algorithm.t) (p : Instance.Packed.t) f =
+  let start = Instance.Packed.start p in
+  let stepper = alg.Algorithm.make ?rng config ~start in
+  let limit = Config.online_limit config in
+  let t_len = Instance.Packed.length p in
+  let d = Instance.Packed.dim p in
+  let points = Instance.Packed.points p in
+  let max_r = ref 0 in
+  for t = 0 to t_len - 1 do
+    max_r := Stdlib.max !max_r (Instance.Packed.round_length p t)
+  done;
+  let scratch = Array.init !max_r (fun _ -> Array.make d 0.0) in
+  let views = Array.init (!max_r + 1) (fun r -> Array.sub scratch 0 r) in
+  let pos = ref start in
+  for round = 0 to t_len - 1 do
+    let lo = Instance.Packed.round_start p round in
+    let r = Instance.Packed.round_length p round in
+    for i = 0 to r - 1 do
+      Geometry.Points.get_into points (lo + i) scratch.(i)
+    done;
+    let requests = views.(r) in
+    let proposed = stepper requests in
+    let clamped = exceeds_limit ~from:!pos ~limit proposed in
+    let next = next_position ~from:!pos ~limit proposed in
+    let cost = Cost.step config ~from:!pos ~to_:next requests in
+    pos := next;
+    f { round; position = next; proposed; clamped; cost }
+  done
+
+let run_packed ?rng config alg (p : Instance.Packed.t) =
+  let t_len = Instance.Packed.length p in
+  let positions = Array.make t_len (Instance.Packed.start p) in
+  let total = ref Cost.zero in
+  let clamped = ref 0 in
+  iter_packed ?rng config alg p
+    (fun { round; position; clamped = c; cost; _ } ->
+      positions.(round) <- position;
+      if c then incr clamped;
+      total := Cost.add !total cost);
+  {
+    algorithm = alg.Algorithm.name;
+    config;
+    positions;
+    cost = !total;
+    clamped = !clamped;
+  }
+
+let total_cost_packed ?rng config alg p =
+  let total = ref Cost.zero in
+  iter_packed ?rng config alg p (fun { cost; _ } ->
+      total := Cost.add !total cost);
+  Cost.total !total
+
 module Session = struct
   type t = {
     stepper : Algorithm.stepper;

@@ -42,6 +42,27 @@ val total_cost :
 (** [total_cost config alg inst] is [Cost.total (run ...).cost] without
     retaining the trajectory. *)
 
+val iter_packed :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.Packed.t ->
+  (step_record -> unit) -> unit
+(** {!iter} on the struct-of-arrays view.  Per-round requests are
+    exposed to the algorithm through a fixed set of reused scratch
+    vectors (no per-round boxing), so the records — and the whole run —
+    are bit-identical to [iter config alg (Instance.unpack p)].
+    Contract: the algorithm must not retain the request array or its
+    vectors past the round; [proposed] in the record is likewise only
+    valid during the callback if it aliases a request. *)
+
+val run_packed :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.Packed.t -> run
+(** {!run} on the packed view; bit-identical to running the unpacked
+    instance. *)
+
+val total_cost_packed :
+  ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.Packed.t ->
+  float
+(** {!total_cost} on the packed view. *)
+
 val replay :
   Config.t -> start:Geometry.Vec.t -> Geometry.Vec.t array -> Instance.t ->
   Cost.breakdown

@@ -20,6 +20,72 @@ let make ~start steps =
     steps = Array.map (fun round -> Array.map Vec.copy round) steps;
   }
 
+module Packed = struct
+  type t = {
+    start : Vec.t;
+    points : Geometry.Points.t;  (* all requests, rounds concatenated *)
+    offsets : int array;  (* length T+1; round t is points [offsets.(t),
+                             offsets.(t+1)) *)
+  }
+
+  let dim p = Vec.dim p.start
+
+  let length p = Array.length p.offsets - 1
+
+  let total_requests p = p.offsets.(Array.length p.offsets - 1)
+
+  let start p = p.start
+
+  let points p = p.points
+
+  let round_start p t = p.offsets.(t)
+
+  let round_length p t = p.offsets.(t + 1) - p.offsets.(t)
+
+  (* Deterministic byte serialization for content addressing: ints and
+     float bit patterns, little-endian, no textual formatting anywhere
+     — two packed instances serialize equally iff every coordinate is
+     bit-identical. *)
+  let serialize p =
+    let buf =
+      Buffer.create
+        (8 * (3 + Array.length p.offsets + Vec.dim p.start
+              + Array.length (Geometry.Points.raw p.points)))
+    in
+    let add_int n = Buffer.add_int64_le buf (Int64.of_int n) in
+    let add_float f = Buffer.add_int64_le buf (Int64.bits_of_float f) in
+    add_int (dim p);
+    add_int (length p);
+    add_int (total_requests p);
+    Array.iter add_int p.offsets;
+    Array.iter add_float p.start;
+    Array.iter add_float (Geometry.Points.raw p.points);
+    Buffer.contents buf
+end
+
+let pack inst =
+  let d = Vec.dim inst.start in
+  let t_len = Array.length inst.steps in
+  let offsets = Array.make (t_len + 1) 0 in
+  for t = 0 to t_len - 1 do
+    offsets.(t + 1) <- offsets.(t) + Array.length inst.steps.(t)
+  done;
+  let points = Geometry.Points.create ~dim:d offsets.(t_len) in
+  Array.iteri
+    (fun t round ->
+      Array.iteri
+        (fun i v -> Geometry.Points.set points (offsets.(t) + i) v)
+        round)
+    inst.steps;
+  { Packed.start = Vec.copy inst.start; points; offsets }
+
+let unpack (p : Packed.t) =
+  make ~start:p.Packed.start
+    (Array.init (Packed.length p) (fun t ->
+         let base = Packed.round_start p t in
+         Array.init (Packed.round_length p t) (fun i ->
+             Geometry.Points.get p.Packed.points (base + i))))
+
 let dim inst = Vec.dim inst.start
 
 let length inst = Array.length inst.steps

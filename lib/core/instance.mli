@@ -19,6 +19,55 @@ val make : start:Geometry.Vec.t -> Geometry.Vec.t array array -> t
     of [start] and builds the instance.  The arrays are copied, so later
     mutation of the caller's arrays cannot corrupt the instance. *)
 
+(** Struct-of-arrays view of an instance: every request coordinate in
+    one flat {!Geometry.Points} buffer plus a per-round offset table.
+    The hot consumers (offline solvers, [Engine.run_packed], the
+    experiment sweeps) iterate this representation; {!pack}/{!unpack}
+    are lossless, so the two views are interchangeable bit for bit. *)
+module Packed : sig
+  type t
+
+  val dim : t -> int
+  (** Space dimension. *)
+
+  val length : t -> int
+  (** Number of rounds [T]. *)
+
+  val total_requests : t -> int
+  (** Requests over all rounds = [round_start t (length t)]. *)
+
+  val start : t -> Geometry.Vec.t
+  (** The start position — a borrow of the internal vector; treat as
+      read-only. *)
+
+  val points : t -> Geometry.Points.t
+  (** All requests, rounds concatenated in order — a borrow; treat as
+      read-only. *)
+
+  val round_start : t -> int -> int
+  (** [round_start p t] is the index in {!points} of round [t]'s first
+      request; valid for [t] in [0, length p] (the last value is the
+      total request count, so [round_start p t, round_start p (t+1))]
+      is always round [t]'s slice). *)
+
+  val round_length : t -> int -> int
+  (** Number of requests in round [t]. *)
+
+  val serialize : t -> string
+  (** Deterministic byte serialization (dimensions, offsets, and IEEE
+      bit patterns, little-endian): two packed instances serialize
+      equally iff they are bit-identical.  Content-addressing key
+      material for {!Offline.Opt_cache}-style memoisation. *)
+end
+
+val pack : t -> Packed.t
+(** [pack inst] is the struct-of-arrays view of [inst] — a lossless
+    copy, never a borrow. *)
+
+val unpack : Packed.t -> t
+(** [unpack p] rebuilds the boxed view; [unpack (pack inst)] equals
+    [inst] coordinate-for-coordinate (bit-identical floats). *)
+
 val dim : t -> int
 (** Space dimension. *)
 

@@ -1,0 +1,101 @@
+(* Struct-of-arrays point storage: one flat float buffer instead of an
+   array of boxed coordinate arrays.  The reduction kernels reproduce
+   the arithmetic of their [Vec] counterparts bit for bit (see the
+   notes on each), so callers can switch representations without
+   perturbing a single rounding step. *)
+
+type t = { dim : int; data : float array }
+
+let create ~dim count =
+  if dim <= 0 then invalid_arg "Points.create: dimension must be positive";
+  if count < 0 then invalid_arg "Points.create: negative count";
+  { dim; data = Array.make (count * dim) 0.0 }
+
+let dim t = t.dim
+
+let count t = Array.length t.data / t.dim
+
+let raw t = t.data
+
+let check_index name t i =
+  if i < 0 || (i + 1) * t.dim > Array.length t.data then
+    invalid_arg (Printf.sprintf "Points.%s: index %d out of bounds" name i)
+
+let coord t i c = t.data.((i * t.dim) + c)
+
+let set t i (v : Vec.t) =
+  check_index "set" t i;
+  if Array.length v <> t.dim then
+    invalid_arg "Points.set: dimension mismatch";
+  Array.blit v 0 t.data (i * t.dim) t.dim
+
+let get_into t i (dst : Vec.t) =
+  check_index "get_into" t i;
+  if Array.length dst <> t.dim then
+    invalid_arg "Points.get_into: dimension mismatch";
+  Array.blit t.data (i * t.dim) dst 0 t.dim
+
+let get t i =
+  check_index "get" t i;
+  Array.sub t.data (i * t.dim) t.dim
+
+let of_vecs ~dim:d vs =
+  let t = create ~dim:d (Array.length vs) in
+  Array.iteri (fun i v -> set t i v) vs;
+  t
+
+(* Distance from point [i] to [v], with exactly the arithmetic of
+   [Vec.dist v (get t i)]: a max-|·| scaling pass then a scaled
+   sum-of-squares pass.  The subtraction direction is immaterial —
+   IEEE negation is exact, and only |d| and d² enter the result. *)
+let dist t i (v : Vec.t) =
+  let d = t.dim in
+  if Array.length v <> d then invalid_arg "Points.dist: dimension mismatch";
+  let base = i * d in
+  let data = t.data in
+  let m = ref 0.0 in
+  for c = 0 to d - 1 do
+    m := Float.max !m (Float.abs (v.(c) -. data.(base + c)))
+  done;
+  let m = !m in
+  if Float.equal m 0.0 then 0.0
+  else if Float.equal m infinity then infinity
+  else begin
+    let acc = ref 0.0 in
+    for c = 0 to d - 1 do
+      let x = (v.(c) -. data.(base + c)) /. m in
+      acc := !acc +. (x *. x)
+    done;
+    m *. sqrt !acc
+  end
+
+(* Left fold in index order, matching [Cost.service_cost]'s
+   [Array.fold_left] over the boxed request array. *)
+let sum_dist t ~lo ~hi (v : Vec.t) =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    acc := !acc +. dist t i v
+  done;
+  !acc
+
+(* Accumulate-then-scale in the order of [Vec.centroid]: start from a
+   copy of the first point, add the rest coordinate-wise, then multiply
+   by 1/n in place. *)
+let centroid_into t ~lo ~hi (dst : Vec.t) =
+  let n = hi - lo in
+  if n <= 0 then invalid_arg "Points.centroid_into: empty range";
+  if Array.length dst <> t.dim then
+    invalid_arg "Points.centroid_into: dimension mismatch";
+  let d = t.dim in
+  let data = t.data in
+  Array.blit data (lo * d) dst 0 d;
+  for i = lo + 1 to hi - 1 do
+    let base = i * d in
+    for c = 0 to d - 1 do
+      dst.(c) <- dst.(c) +. data.(base + c)
+    done
+  done;
+  let k = 1.0 /. float_of_int n in
+  for c = 0 to d - 1 do
+    dst.(c) <- k *. dst.(c)
+  done

@@ -165,6 +165,21 @@ let clamp_step ~from limit target =
   if limit < 0.0 then invalid_arg "Vec.clamp_step: negative limit";
   move_towards from target limit
 
+(* In-place [clamp_step]: same decision and the same lerp arithmetic,
+   writing into a caller-owned buffer.  [dst] may alias [target] ([lerp_into]
+   is coordinate-independent and the gap is measured first). *)
+let clamp_step_into dst ~from limit target =
+  if limit < 0.0 then invalid_arg "Vec.clamp_step_into: negative limit";
+  check_dim "clamp_step_into" from target;
+  check_dst "clamp_step_into" dst target;
+  let gap = dist from target in
+  if not (Float.is_finite gap) then
+    invalid_arg "Vec.clamp_step_into: non-finite gap";
+  if gap <= limit || Float.equal gap 0.0 then begin
+    if dst != target then Array.blit target 0 dst 0 (Array.length target)
+  end
+  else lerp_into dst from target (limit /. gap)
+
 let centroid ps =
   let n = Array.length ps in
   if n = 0 then invalid_arg "Vec.centroid: empty array";

@@ -114,6 +114,13 @@ val clamp_step : from:t -> float -> t -> t
     [limit] from [from] on the segment towards [target].  This enforces
     the model's maximum movement distance [m]. *)
 
+val clamp_step_into : t -> from:t -> float -> t -> unit
+(** [clamp_step_into dst ~from limit target] stores
+    [clamp_step ~from limit target] in [dst] without allocating —
+    bit-identical decision and lerp arithmetic.  [dst] may alias
+    [target].  Raises [Invalid_argument] if [limit < 0] or the gap is
+    not finite. *)
+
 val centroid : t array -> t
 (** [centroid ps] is the arithmetic mean of a non-empty array of
     points. *)

@@ -1,22 +1,32 @@
 module Vec = Geometry.Vec
+module Points = Geometry.Points
 module Config = Mobile_server.Config
 module Instance = Mobile_server.Instance
-module Cost = Mobile_server.Cost
 module Variant = Mobile_server.Variant
 
 (* Shared value-iteration skeleton over an arbitrary finite state set.
-   [points] are the candidate positions, [start_idx] the initial state. *)
-let value_iteration (config : Config.t) inst points start_idx =
-  let t_len = Instance.length inst in
+   [points] are the candidate positions, [start_idx] the initial state.
+   Requests are read from the flat packed buffer; the per-round service
+   table is solver-level scratch ([Points.sum_dist] matches the boxed
+   [Cost.service_cost] fold bit for bit, so this is the same iteration
+   the boxed version ran). *)
+let value_iteration (config : Config.t) (p : Instance.Packed.t) points
+    start_idx =
+  let t_len = Instance.Packed.length p in
   let m = Config.offline_limit config in
   let n = Array.length points in
+  let reqs = Instance.Packed.points p in
   let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
   let value = Array.make n infinity in
   value.(start_idx) <- 0.0;
   let next = Array.make n 0.0 in
+  let service = Array.make n 0.0 in
   for t = 0 to t_len - 1 do
-    let reqs = inst.Instance.steps.(t) in
-    let service = Array.map (fun p -> Cost.service_cost p reqs) points in
+    let lo = Instance.Packed.round_start p t in
+    let hi = Instance.Packed.round_start p (t + 1) in
+    for k = 0 to n - 1 do
+      service.(k) <- Points.sum_dist reqs ~lo ~hi points.(k)
+    done;
     for k = 0 to n - 1 do
       let best = ref infinity in
       for j = 0 to n - 1 do
@@ -38,50 +48,56 @@ let value_iteration (config : Config.t) inst points start_idx =
   done;
   Array.fold_left Float.min infinity value
 
-let hull_1d inst =
-  let start = inst.Instance.start.(0) in
+let hull_1d (p : Instance.Packed.t) =
+  let start = (Instance.Packed.start p).(0) in
+  let data = Points.raw (Instance.Packed.points p) in
   let lo = ref start and hi = ref start in
-  Array.iter
-    (Array.iter (fun v ->
-         if v.(0) < !lo then lo := v.(0);
-         if v.(0) > !hi then hi := v.(0)))
-    inst.Instance.steps;
+  for i = 0 to Instance.Packed.total_requests p - 1 do
+    let x = data.(i) in
+    if x < !lo then lo := x;
+    if x > !hi then hi := x
+  done;
   (!lo, !hi)
 
-let grid_1d ~cells config inst =
-  if Instance.dim inst <> 1 then invalid_arg "Brute.grid_1d: not 1-D";
-  if Instance.length inst = 0 then invalid_arg "Brute.grid_1d: empty instance";
+let grid_1d_packed ~cells config (p : Instance.Packed.t) =
+  if Instance.Packed.dim p <> 1 then invalid_arg "Brute.grid_1d: not 1-D";
+  if Instance.Packed.length p = 0 then
+    invalid_arg "Brute.grid_1d: empty instance";
   if cells < 2 then invalid_arg "Brute.grid_1d: cells < 2";
-  let lo, hi = hull_1d inst in
+  let lo, hi = hull_1d p in
   let width = Float.max (hi -. lo) 1e-9 in
   let points =
     Array.init cells (fun i ->
         [| lo +. (width *. float_of_int i /. float_of_int (cells - 1)) |])
   in
   (* Snap the closest grid point onto the exact start position. *)
-  let start = inst.Instance.start.(0) in
+  let start = (Instance.Packed.start p).(0) in
   let start_idx = ref 0 in
   Array.iteri
-    (fun i p ->
-      if Float.abs (p.(0) -. start) < Float.abs (points.(!start_idx).(0) -. start)
+    (fun i q ->
+      if Float.abs (q.(0) -. start) < Float.abs (points.(!start_idx).(0) -. start)
       then start_idx := i)
     points;
   points.(!start_idx) <- [| start |];
-  value_iteration config inst points !start_idx
+  value_iteration config p points !start_idx
 
-let grid_2d ~cells_per_axis config inst =
-  if Instance.dim inst <> 2 then invalid_arg "Brute.grid_2d: not 2-D";
-  if Instance.length inst = 0 then invalid_arg "Brute.grid_2d: empty instance";
+let grid_1d ~cells config inst = grid_1d_packed ~cells config (Instance.pack inst)
+
+let grid_2d_packed ~cells_per_axis config (p : Instance.Packed.t) =
+  if Instance.Packed.dim p <> 2 then invalid_arg "Brute.grid_2d: not 2-D";
+  if Instance.Packed.length p = 0 then
+    invalid_arg "Brute.grid_2d: empty instance";
   if cells_per_axis < 2 then invalid_arg "Brute.grid_2d: cells_per_axis < 2";
-  let start = inst.Instance.start in
+  let start = Instance.Packed.start p in
+  let reqs = Instance.Packed.points p in
   let lo = [| start.(0); start.(1) |] and hi = [| start.(0); start.(1) |] in
-  Array.iter
-    (Array.iter (fun v ->
-         for c = 0 to 1 do
-           if v.(c) < lo.(c) then lo.(c) <- v.(c);
-           if v.(c) > hi.(c) then hi.(c) <- v.(c)
-         done))
-    inst.Instance.steps;
+  for i = 0 to Instance.Packed.total_requests p - 1 do
+    for c = 0 to 1 do
+      let x = Points.coord reqs i c in
+      if x < lo.(c) then lo.(c) <- x;
+      if x > hi.(c) then hi.(c) <- x
+    done
+  done;
   let n = cells_per_axis in
   let coord c i =
     let width = Float.max (hi.(c) -. lo.(c)) 1e-9 in
@@ -93,9 +109,12 @@ let grid_2d ~cells_per_axis config inst =
   (* Snap the nearest lattice point onto the start. *)
   let start_idx = ref 0 in
   Array.iteri
-    (fun i p ->
-      if Vec.dist p start < Vec.dist points.(!start_idx) start then
+    (fun i q ->
+      if Vec.dist q start < Vec.dist points.(!start_idx) start then
         start_idx := i)
     points;
   points.(!start_idx) <- Vec.copy start;
-  value_iteration config inst points !start_idx
+  value_iteration config p points !start_idx
+
+let grid_2d ~cells_per_axis config inst =
+  grid_2d_packed ~cells_per_axis config (Instance.pack inst)

@@ -29,8 +29,22 @@ let requests_at (config : Config.t) (inst : Instance.t) t =
       inst.Instance.steps.(t + 1)
     else [||]
 
-let price config (inst : Instance.t) positions =
-  Cost.total (Cost.trajectory config ~start:inst.Instance.start positions inst)
+(* Same charging rule as [requests_at], as a slice [lo, hi) of the flat
+   packed request buffer. *)
+let charged_slice (config : Config.t) (p : Instance.Packed.t) t =
+  match config.Config.variant with
+  | Variant.Move_first ->
+    (Instance.Packed.round_start p t, Instance.Packed.round_start p (t + 1))
+  | Variant.Serve_first ->
+    if t + 1 < Instance.Packed.length p then
+      ( Instance.Packed.round_start p (t + 1),
+        Instance.Packed.round_start p (t + 2) )
+    else (0, 0)
+
+let price config (p : Instance.Packed.t) positions =
+  Cost.total
+    (Cost.trajectory_packed config ~start:(Instance.Packed.start p) positions
+       p)
 
 (* Forward feasibility pass: clamp each move to the budget. *)
 let restore_feasible ~limit ~start positions =
@@ -42,15 +56,20 @@ let restore_feasible ~limit ~start positions =
       q)
     positions
 
-(* Greedy warm start: chase the current round's charged centroid. *)
-let warm_start config inst ~limit =
-  let t_len = Instance.length inst in
-  let pos = ref inst.Instance.start in
+(* Greedy warm start: chase the current round's charged centroid.
+   [cvec] is a dim-sized scratch buffer for the round centroid. *)
+let warm_start config (p : Instance.Packed.t) ~limit ~cvec =
+  let t_len = Instance.Packed.length p in
+  let points = Instance.Packed.points p in
+  let pos = ref (Instance.Packed.start p) in
   Array.init t_len (fun t ->
-      let reqs = requests_at config inst t in
+      let lo, hi = charged_slice config p t in
       let next =
-        if Array.length reqs = 0 then !pos
-        else Vec.clamp_step ~from:!pos limit (Vec.centroid reqs)
+        if hi = lo then !pos
+        else begin
+          Geometry.Points.centroid_into points ~lo ~hi cvec;
+          Vec.clamp_step ~from:!pos limit cvec
+        end
       in
       pos := next;
       next)
@@ -61,25 +80,54 @@ let unit_towards a b =
   | Some u -> u
   | None -> Vec.zero (Vec.dim a)
 
-let subgradient config (inst : Instance.t) positions =
+(* Subgradient of the total cost at [positions], accumulated in place
+   into the caller-owned rows of [grad] ([dvec] is dim-sized scratch
+   for difference vectors).  Replicates the allocating formulation
+   term for term: each pull adds [w · ((1/n) · d_c)] with
+   [n = ‖d‖] computed by [Vec.norm] and pulls with [n < 1e-300]
+   skipped (adding the zero vector cannot flip any accumulator sign:
+   the rows start at +0.0 and IEEE addition only yields -0.0 from two
+   negative zeros, so the skip is bit-identical). *)
+let subgradient_into config (p : Instance.Packed.t) positions ~grad ~dvec =
   let t_len = Array.length positions in
   let d_factor = config.Config.d_factor in
-  let grad = Array.map (fun p -> Vec.zero (Vec.dim p)) positions in
-  let add_into g v = Array.iteri (fun i c -> g.(i) <- g.(i) +. c) v in
+  let data = Geometry.Points.raw (Instance.Packed.points p) in
+  let dim = Array.length dvec in
+  let start = Instance.Packed.start p in
   for t = 0 to t_len - 1 do
-    let prev = if t = 0 then inst.Instance.start else positions.(t - 1) in
+    let g = grad.(t) in
+    Array.fill g 0 dim 0.0;
+    let x = positions.(t) in
+    (* Accumulate w · unit(x − a) into g for a boxed anchor a. *)
+    let pull_vec w (a : Vec.t) =
+      for c = 0 to dim - 1 do
+        dvec.(c) <- x.(c) -. a.(c)
+      done;
+      let n = Vec.norm dvec in
+      if n >= 1e-300 then
+        for c = 0 to dim - 1 do
+          g.(c) <- g.(c) +. (w *. ((1.0 /. n) *. dvec.(c)))
+        done
+    in
     (* Movement into round t. *)
-    add_into grad.(t) (Vec.scale d_factor (unit_towards positions.(t) prev));
+    pull_vec d_factor (if t = 0 then start else positions.(t - 1));
     (* Movement out of round t. *)
-    if t + 1 < t_len then
-      add_into grad.(t)
-        (Vec.scale d_factor (unit_towards positions.(t) positions.(t + 1)));
-    (* Service pulls. *)
-    Array.iter
-      (fun v -> add_into grad.(t) (unit_towards positions.(t) v))
-      (requests_at config inst t)
-  done;
-  grad
+    if t + 1 < t_len then pull_vec d_factor positions.(t + 1);
+    (* Service pulls, weight 1 (multiplying by 1.0 is exact, so the
+       shared accumulation path changes no bits). *)
+    let lo, hi = charged_slice config p t in
+    for i = lo to hi - 1 do
+      let base = i * dim in
+      for c = 0 to dim - 1 do
+        dvec.(c) <- x.(c) -. data.(base + c)
+      done;
+      let n = Vec.norm dvec in
+      if n >= 1e-300 then
+        for c = 0 to dim - 1 do
+          g.(c) <- g.(c) +. (1.0 *. ((1.0 /. n) *. dvec.(c)))
+        done
+    done
+  done
 
 let grad_norm grad =
   sqrt (Array.fold_left (fun acc g -> acc +. Vec.norm2 g) 0.0 grad)
@@ -269,37 +317,57 @@ let block_phase config (inst : Instance.t) ~limit positions =
     !improved
   end
 
-let solve ?(max_iter = 400) ?(sweeps = 30) (config : Config.t) inst =
-  let t_len = Instance.length inst in
+(* The solver core works on both views of the same instance: the
+   packed one drives the hot paths (warm start, subgradient iterations,
+   trajectory pricing), the boxed one the structural descent phases
+   (coordinate sweeps, block translation).  [pack]/[unpack] are
+   lossless, so entering from either representation computes
+   bit-identical results. *)
+let solve_core ~max_iter ~sweeps (config : Config.t) (inst : Instance.t)
+    (packed : Instance.Packed.t) =
+  let t_len = Instance.Packed.length packed in
   if t_len = 0 then invalid_arg "Convex_opt.solve: empty instance";
   let limit = Config.offline_limit config in
-  let best = ref (warm_start config inst ~limit) in
-  let best_cost = ref (price config inst !best) in
+  let dim = Instance.Packed.dim packed in
+  (* Solver-level scratch: gradient rows, difference vector, centroid. *)
+  let grad = Array.init t_len (fun _ -> Array.make dim 0.0) in
+  let dvec = Array.make dim 0.0 in
+  let cvec = Array.make dim 0.0 in
+  let best = ref (warm_start config packed ~limit ~cvec) in
+  let best_cost = ref (price config packed !best) in
   let iterations = ref 0 in
   let sweeps_done = ref 0 in
-  (* Projected subgradient with diminishing steps, from [start_from]. *)
+  (* Projected subgradient with diminishing steps, from [start_from].
+     The iterate [x] is updated in place: gradient step, then the
+     forward feasibility clamp — the same arithmetic as the allocating
+     [Vec.sub]/[Vec.scale]/[restore_feasible] chain it replaces. *)
   let subgradient_phase ~iters start_from =
-    let x = ref (Array.map Vec.copy start_from) in
+    let x = Array.map Vec.copy start_from in
     let scale = limit *. sqrt (float_of_int t_len) in
+    let start = Instance.Packed.start packed in
     (try
        for k = 1 to iters do
          incr iterations;
-         let g = subgradient config inst !x in
-         let gn = grad_norm g in
+         subgradient_into config packed x ~grad ~dvec;
+         let gn = grad_norm grad in
          if gn < 1e-12 then raise Exit;
          let alpha = scale /. (gn *. sqrt (float_of_int k)) in
-         let stepped =
-           Array.mapi (fun t p -> Vec.sub p (Vec.scale alpha g.(t))) !x
-         in
-         let feasible =
-           restore_feasible ~limit ~start:inst.Instance.start stepped
-         in
-         let c = price config inst feasible in
+         for t = 0 to t_len - 1 do
+           let xt = x.(t) and g = grad.(t) in
+           for c = 0 to dim - 1 do
+             xt.(c) <- xt.(c) -. (alpha *. g.(c))
+           done
+         done;
+         let prev = ref start in
+         for t = 0 to t_len - 1 do
+           Vec.clamp_step_into x.(t) ~from:!prev limit x.(t);
+           prev := x.(t)
+         done;
+         let c = price config packed x in
          if c < !best_cost then begin
            best_cost := c;
-           best := Array.map Vec.copy feasible
-         end;
-         x := feasible
+           best := Array.map Vec.copy x
+         end
        done
      with Exit -> ())
   in
@@ -308,18 +376,18 @@ let solve ?(max_iter = 400) ?(sweeps = 30) (config : Config.t) inst =
     let polished = Array.map Vec.copy start_from in
     (try
        for s = 1 to rounds do
-         let before = price config inst polished in
+         let before = price config packed polished in
          let improved =
            coordinate_sweep config inst ~limit ~reverse:(s mod 2 = 0)
              polished
          in
          incr sweeps_done;
-         let after = price config inst polished in
+         let after = price config packed polished in
          if (not improved) || before -. after <= 1e-10 *. Float.max 1.0 before
          then raise Exit
        done
      with Exit -> ());
-    let c = price config inst polished in
+    let c = price config packed polished in
     if c < !best_cost then begin
       best_cost := c;
       best := polished
@@ -331,7 +399,7 @@ let solve ?(max_iter = 400) ?(sweeps = 30) (config : Config.t) inst =
   let block_round () =
     let candidate = Array.map Vec.copy !best in
     if block_phase config inst ~limit candidate then begin
-      let c = price config inst candidate in
+      let c = price config packed candidate in
       if c < !best_cost then begin
         best_cost := c;
         best := candidate
@@ -356,13 +424,24 @@ let solve ?(max_iter = 400) ?(sweeps = 30) (config : Config.t) inst =
   checkpoint "final";
   (* Numerical safety: force exact feasibility and reprice, so the
      reported cost is always achieved by the reported trajectory. *)
-  let final = restore_feasible ~limit ~start:inst.Instance.start !best in
+  let final =
+    restore_feasible ~limit ~start:inst.Instance.start !best
+  in
   {
-    cost = price config inst final;
+    cost = price config packed final;
     positions = final;
     subgradient_iterations = !iterations;
     descent_sweeps = !sweeps_done;
   }
 
+let solve ?(max_iter = 400) ?(sweeps = 30) config inst =
+  solve_core ~max_iter ~sweeps config inst (Instance.pack inst)
+
+let solve_packed ?(max_iter = 400) ?(sweeps = 30) config packed =
+  solve_core ~max_iter ~sweeps config (Instance.unpack packed) packed
+
 let optimum ?max_iter ?sweeps config inst =
   (solve ?max_iter ?sweeps config inst).cost
+
+let optimum_packed ?max_iter ?sweeps config packed =
+  (solve_packed ?max_iter ?sweeps config packed).cost

@@ -41,3 +41,17 @@ val optimum :
   ?max_iter:int -> ?sweeps:int -> Mobile_server.Config.t ->
   Mobile_server.Instance.t -> float
 (** The cost field of {!solve}. *)
+
+val solve_packed :
+  ?max_iter:int -> ?sweeps:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> solution
+(** {!solve} on the struct-of-arrays view.  Both entry points run the
+    same core — the packed view drives the hot paths (warm start,
+    subgradient with in-place gradient accumulation, trajectory
+    pricing) and the boxed view the structural descent phases — so
+    [solve_packed (pack inst)] is bit-identical to [solve inst]. *)
+
+val optimum_packed :
+  ?max_iter:int -> ?sweeps:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> float
+(** The cost field of {!solve_packed}. *)

@@ -9,16 +9,57 @@ let log_src = Logs.Src.create "offline.line-dp" ~doc:"Exact 1-D optimum"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* Service cost Σ_i |x − v_i| evaluated on every ascending grid point in
-   O(r log r + G) using sorted requests and prefix sums. *)
-let service_on_grid grid requests =
+(* In-place heapsort of [a.(0 .. n-1)] under [Float.compare].  The
+   sorted prefix is exactly what [Array.sort Float.compare] would
+   produce on an exact-length array (the sorted sequence of a float
+   multiset is unique under a total order), so the solver can sort into
+   a reusable scratch buffer longer than the round. *)
+let sort_prefix a n =
+  let sift root len =
+    let j = ref root in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !j) + 1 in
+      if l >= len then continue := false
+      else begin
+        let big =
+          if l + 1 < len && Float.compare a.(l + 1) a.(l) > 0 then l + 1
+          else l
+        in
+        if Float.compare a.(big) a.(!j) > 0 then begin
+          let tmp = a.(big) in
+          a.(big) <- a.(!j);
+          a.(!j) <- tmp;
+          j := big
+        end
+        else continue := false
+      end
+    done
+  in
+  for root = (n / 2) - 1 downto 0 do
+    sift root n
+  done;
+  for last = n - 1 downto 1 do
+    let tmp = a.(last) in
+    a.(last) <- a.(0);
+    a.(0) <- tmp;
+    sift 0 last
+  done
+
+(* Service cost Σ_i |x − v_i| evaluated on every ascending grid point
+   in O(r log r + G), using sorted requests and prefix sums.  The
+   request coordinates are [data.(lo .. hi-1)] of the flat packed
+   buffer; [sorted] (>= r floats), [prefix] (>= r+1 floats) and [out]
+   (exactly G floats) are caller-owned scratch reused across rounds —
+   this used to allocate all three per round. *)
+let service_on_grid_flat data ~lo ~hi grid ~sorted ~prefix out =
   let g = Array.length grid in
-  let out = Array.make g 0.0 in
-  let r = Array.length requests in
+  Array.fill out 0 g 0.0;
+  let r = hi - lo in
   if r > 0 then begin
-    let sorted = Array.map (fun v -> v.(0)) requests in
-    Array.sort Float.compare sorted;
-    let prefix = Array.make (r + 1) 0.0 in
+    Array.blit data lo sorted 0 r;
+    sort_prefix sorted r;
+    prefix.(0) <- 0.0;
     for i = 0 to r - 1 do
       prefix.(i + 1) <- prefix.(i) +. sorted.(i)
     done;
@@ -32,8 +73,7 @@ let service_on_grid grid requests =
       let above = float_of_int (r - !j) and sum_above = total -. prefix.(!j) in
       out.(k) <- (below *. x) -. sum_below +. (sum_above -. (above *. x))
     done
-  end;
-  out
+  end
 
 (* Monotone deque: sliding-window minimum of [key] over windows of
    half-width [w], reporting the minimizing index.  Scans left-to-right
@@ -58,31 +98,34 @@ let window_min_left ~w ~deque key out_val out_idx =
     out_idx.(k) <- j
   done
 
-let solve ?(grid_per_m = 64) (config : Config.t) inst =
-  if Instance.dim inst <> 1 then
+let solve_packed ?(grid_per_m = 64) (config : Config.t)
+    (p : Instance.Packed.t) =
+  if Instance.Packed.dim p <> 1 then
     invalid_arg "Line_dp.solve: instance is not 1-dimensional";
-  let t_len = Instance.length inst in
+  let t_len = Instance.Packed.length p in
   if t_len = 0 then invalid_arg "Line_dp.solve: empty instance";
   if grid_per_m < 1 then invalid_arg "Line_dp.solve: grid_per_m < 1";
   let m = Config.offline_limit config in
   let d_factor = config.Config.d_factor in
-  let start = inst.Instance.start.(0) in
+  let start = (Instance.Packed.start p).(0) in
   if not (Float.is_finite start) then
     invalid_arg "Line_dp.solve: start position is not finite";
-  (* Hull of start and all requests; the optimum never leaves it.  A NaN
-     coordinate would slip past the min/max (every comparison is false),
-     so each coordinate is validated explicitly. *)
+  (* In 1-D the flat buffer holds one coordinate per request, so the
+     hull scan is a single pass over the packed data. *)
+  let data = Geometry.Points.raw (Instance.Packed.points p) in
+  let n_req = Instance.Packed.total_requests p in
+  (* Hull of start and all requests; the optimum never leaves it.  A
+     NaN coordinate would slip past the min/max (every comparison is
+     false), so each coordinate is validated explicitly. *)
   let lo = ref start and hi = ref start in
-  Array.iter
-    (Array.iter (fun v ->
-         let x = v.(0) in
-         if not (Float.is_finite x) then
-           invalid_arg
-             "Line_dp.solve: request coordinate is not finite (NaN or \
-              infinite)";
-         if x < !lo then lo := x;
-         if x > !hi then hi := x))
-    inst.Instance.steps;
+  for i = 0 to n_req - 1 do
+    let x = data.(i) in
+    if not (Float.is_finite x) then
+      invalid_arg
+        "Line_dp.solve: request coordinate is not finite (NaN or infinite)";
+    if x < !lo then lo := x;
+    if x > !hi then hi := x
+  done;
   let width = !hi -. !lo in
   (* Keep the parent table (one byte per state per round) within a fixed
      memory budget. *)
@@ -138,16 +181,26 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
   let parents = Bytes.make (t_len * g) '\000' in
   let value = Array.make g inf in
   value.(start_idx) <- 0.0;
-  (* Scratch arrays reused across rounds. *)
+  (* Scratch arrays reused across all T rounds — the DP loop proper
+     allocates nothing. *)
   let key = Array.make g 0.0 in
   let left_val = Array.make g 0.0 and left_idx = Array.make g 0 in
   let right_val = Array.make g 0.0 and right_idx = Array.make g 0 in
   let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
   let next = Array.make g 0.0 in
   let deque = Array.make g 0 in
+  let service = Array.make g 0.0 in
+  let max_r = ref 0 in
+  for t = 0 to t_len - 1 do
+    max_r := Stdlib.max !max_r (Instance.Packed.round_length p t)
+  done;
+  let sorted = Array.make (Stdlib.max 1 !max_r) 0.0 in
+  let prefix = Array.make (!max_r + 1) 0.0 in
   let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
   for t = 0 to t_len - 1 do
-    let service = service_on_grid grid inst.Instance.steps.(t) in
+    service_on_grid_flat data ~lo:(Instance.Packed.round_start p t)
+      ~hi:(Instance.Packed.round_start p (t + 1))
+      grid ~sorted ~prefix service;
     (* Base value of staying at y before moving: V(y) (+ service(y) when
        the variant charges requests at the pre-move position). *)
     let base j = if serve_first then value.(j) +. service.(j) else value.(j) in
@@ -195,4 +248,10 @@ let solve ?(grid_per_m = 64) (config : Config.t) inst =
   done;
   { cost = value.(!best_k); positions; grid_pitch = pitch }
 
+let solve ?grid_per_m config inst =
+  solve_packed ?grid_per_m config (Instance.pack inst)
+
 let optimum ?grid_per_m config inst = (solve ?grid_per_m config inst).cost
+
+let optimum_packed ?grid_per_m config p =
+  (solve_packed ?grid_per_m config p).cost

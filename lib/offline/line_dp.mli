@@ -47,3 +47,15 @@ val solve : ?grid_per_m:int -> Mobile_server.Config.t ->
 val optimum : ?grid_per_m:int -> Mobile_server.Config.t ->
   Mobile_server.Instance.t -> float
 (** [optimum config inst] is [(solve config inst).cost]. *)
+
+val solve_packed : ?grid_per_m:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> solution
+(** [solve_packed config p] is the packed-instance core — {!solve} is
+    [solve_packed] after {!Mobile_server.Instance.pack}, so the two are
+    bit-identical by construction.  The DP iterates the flat request
+    buffer and reuses solver-level scratch across all [T] rounds (no
+    per-round allocation). *)
+
+val optimum_packed : ?grid_per_m:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> float
+(** The cost field of {!solve_packed}. *)
