@@ -15,6 +15,12 @@
                                                   or --hotpath-out PATH;
                                                   golden file override with
                                                   --golden PATH)
+     dune exec bench/main.exe -- solver       -- packed Line_dp vs the
+                                                 pre-packing replica and the
+                                                 OPT cache, with byte-identity
+                                                 verdicts (JSON to
+                                                 BENCH_solver.json, or
+                                                 --solver-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -465,6 +471,329 @@ let run_hotpath ~quick ~out ~golden () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Offline-solver benchmark: the packed Line_dp core and the OPT memo
+   cache, priced against a faithful replica of the pre-packing solver
+   (per-round allocations, boxed request access), plus the identity
+   checks — packed vs boxed, cached vs uncached, jobs=1 vs jobs=2 —
+   that prove the speedups changed no science.  JSON lands in
+   BENCH_solver.json (or --solver-out PATH). *)
+
+(* Replica of the pre-packing Line_dp: identical arithmetic, but the
+   service table, sorted-request scratch and deques are allocated fresh
+   every round and requests are read through boxed vectors.  Kept here
+   (not in lib/) so the comparison target cannot drift into production
+   use. *)
+module Line_dp_replica = struct
+  module Config = MS.Config
+  module Instance = MS.Instance
+  module Variant = MS.Variant
+
+  let service_on_grid grid requests =
+    let g = Array.length grid in
+    let out = Array.make g 0.0 in
+    let r = Array.length requests in
+    if r > 0 then begin
+      let sorted = Array.map (fun v -> v.(0)) requests in
+      Array.sort Float.compare sorted;
+      let prefix = Array.make (r + 1) 0.0 in
+      for i = 0 to r - 1 do
+        prefix.(i + 1) <- prefix.(i) +. sorted.(i)
+      done;
+      let total = prefix.(r) in
+      let j = ref 0 in
+      for k = 0 to g - 1 do
+        let x = grid.(k) in
+        while !j < r && sorted.(!j) <= x do incr j done;
+        let below = float_of_int !j and sum_below = prefix.(!j) in
+        let above = float_of_int (r - !j)
+        and sum_above = total -. prefix.(!j) in
+        out.(k) <- (below *. x) -. sum_below +. (sum_above -. (above *. x))
+      done
+    end;
+    out
+
+  let window_min_left ~w key out_val out_idx =
+    let g = Array.length key in
+    let deque = Array.make g 0 in
+    let head = ref 0 and tail = ref 0 in
+    for k = 0 to g - 1 do
+      while !head < !tail && deque.(!head) < k - w do incr head done;
+      while !head < !tail && key.(deque.(!tail - 1)) >= key.(k) do
+        decr tail
+      done;
+      deque.(!tail) <- k;
+      incr tail;
+      let j = deque.(!head) in
+      out_val.(k) <- key.(j);
+      out_idx.(k) <- j
+    done
+
+  let optimum ?(grid_per_m = 64) (config : Config.t) inst =
+    if Instance.dim inst <> 1 then
+      invalid_arg "Line_dp.solve: instance is not 1-dimensional";
+    let t_len = Instance.length inst in
+    if t_len = 0 then invalid_arg "Line_dp.solve: empty instance";
+    let m = Config.offline_limit config in
+    let d_factor = config.Config.d_factor in
+    let start = inst.Instance.start.(0) in
+    let lo = ref start and hi = ref start in
+    Array.iter
+      (Array.iter (fun v ->
+           if v.(0) < !lo then lo := v.(0);
+           if v.(0) > !hi then hi := v.(0)))
+      inst.Instance.steps;
+    let width = !hi -. !lo in
+    let max_cells = 40_000_000 in
+    let max_grid = Stdlib.max 64 (Stdlib.min 60_000 (max_cells / t_len)) in
+    let pitch =
+      let by_m = m /. float_of_int (Stdlib.min grid_per_m 126) in
+      let by_width =
+        if width > 0.0 then width /. float_of_int max_grid else by_m
+      in
+      Float.max by_m by_width
+    in
+    let k_lo = -(int_of_float (Float.ceil ((start -. !lo) /. pitch))) in
+    let k_hi = int_of_float (Float.ceil ((!hi -. start) /. pitch)) in
+    let g = k_hi - k_lo + 1 in
+    let grid =
+      Array.init g (fun i -> start +. (float_of_int (k_lo + i) *. pitch))
+    in
+    let start_idx = -k_lo in
+    let w = int_of_float (Float.floor ((m /. pitch) +. 1e-9)) in
+    if w < 1 then invalid_arg "Line_dp.solve: grid pitch exceeds m";
+    let inf = infinity in
+    let parents = Bytes.make (t_len * g) '\000' in
+    let value = Array.make g inf in
+    value.(start_idx) <- 0.0;
+    let key = Array.make g 0.0 in
+    let left_val = Array.make g 0.0 and left_idx = Array.make g 0 in
+    let right_val = Array.make g 0.0 and right_idx = Array.make g 0 in
+    let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
+    let next = Array.make g 0.0 in
+    let serve_first =
+      Variant.equal config.Config.variant Variant.Serve_first
+    in
+    for t = 0 to t_len - 1 do
+      let service = service_on_grid grid inst.Instance.steps.(t) in
+      let base j =
+        if serve_first then value.(j) +. service.(j) else value.(j)
+      in
+      for j = 0 to g - 1 do
+        key.(j) <- base j -. (d_factor *. grid.(j))
+      done;
+      window_min_left ~w key left_val left_idx;
+      for j = 0 to g - 1 do
+        key.(j) <- base (g - 1 - j) +. (d_factor *. grid.(g - 1 - j))
+      done;
+      window_min_left ~w key rev_val rev_idx;
+      for k = 0 to g - 1 do
+        right_val.(k) <- rev_val.(g - 1 - k);
+        right_idx.(k) <- g - 1 - rev_idx.(g - 1 - k)
+      done;
+      for k = 0 to g - 1 do
+        let x = grid.(k) in
+        let from_left = left_val.(k) +. (d_factor *. x) in
+        let from_right = right_val.(k) -. (d_factor *. x) in
+        let best_val, best_j =
+          if from_left <= from_right then (from_left, left_idx.(k))
+          else (from_right, right_idx.(k))
+        in
+        next.(k) <-
+          (if Float.is_finite best_val then
+             if serve_first then best_val else best_val +. service.(k)
+           else inf);
+        Bytes.set parents ((t * g) + k) (Char.chr (best_j - k + 128))
+      done;
+      Array.blit next 0 value 0 g
+    done;
+    let best_k = ref 0 in
+    for k = 1 to g - 1 do
+      if value.(k) < value.(!best_k) then best_k := k
+    done;
+    value.(!best_k)
+end
+
+let run_solver ~quick ~out () =
+  print_endline "\n=== SOLVER: packed Line_dp, OPT cache, identity ===\n";
+  let bit_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let config = MS.Config.make ~d_factor:4.0 ~delta:0.5 () in
+  let line_gen ~t rng =
+    Workloads.Clusters.generate ~r_min:2 ~r_max:2 ~arena:10.0 ~dim:1 ~t rng
+  in
+  (* --- cold single solve: replica vs packed core ------------------- *)
+  let solve_t = if quick then 512 else 2000 in
+  let inst =
+    line_gen ~t:solve_t (Prng.Stream.named ~name:"bench-solver" ~seed:1)
+  in
+  let solve_reps = if quick then 5 else 15 in
+  let seed_ms =
+    time_per ~repeat:solve_reps (fun () -> Line_dp_replica.optimum config inst)
+    *. 1e3
+  in
+  let packed_ms =
+    time_per ~repeat:solve_reps (fun () ->
+        Offline.Line_dp.optimum config inst)
+    *. 1e3
+  in
+  let cold_speedup = seed_ms /. packed_ms in
+  (* Identity: replica, boxed entry and packed core agree bit for bit
+     across several instances. *)
+  let identity_packed_vs_boxed =
+    let ok = ref true in
+    for seed = 1 to 8 do
+      let inst =
+        line_gen ~t:(if quick then 64 else 128)
+          (Prng.Stream.named ~name:"bench-solver-id" ~seed)
+      in
+      let replica = Line_dp_replica.optimum config inst in
+      let boxed = Offline.Line_dp.optimum config inst in
+      let packed =
+        Offline.Line_dp.optimum_packed config (MS.Instance.pack inst)
+      in
+      if not (bit_eq replica boxed && bit_eq boxed packed) then ok := false
+    done;
+    !ok
+  in
+  (* --- cached sweep: cold vs warm, jobs=1 vs jobs=2 ----------------- *)
+  let sweep_seeds = if quick then 6 else 16 in
+  let sweep_t = if quick then 128 else 256 in
+  let sweep () =
+    Experiments.Ratio.vs_line_dp ~seeds:sweep_seeds ~base_seed:11
+      ~name:"bench-opt-cache" config MS.Mtc.algorithm (line_gen ~t:sweep_t)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let saved_jobs = Exec.jobs () in
+  Exec.set_jobs 1;
+  Offline.Opt_cache.clear ();
+  Offline.Opt_cache.reset_stats ();
+  let cold_s, sweep_cold = timed sweep in
+  let warm_s, sweep_warm = timed sweep in
+  let warm_speedup = cold_s /. warm_s in
+  (* Uncached pass: the cache bypassed entirely, same jobs count. *)
+  Offline.Opt_cache.set_enabled false;
+  let _, sweep_uncached = timed sweep in
+  Offline.Opt_cache.set_enabled true;
+  (* jobs=2 from a cold cache, then warm. *)
+  Exec.set_jobs 2;
+  Offline.Opt_cache.clear ();
+  let _, sweep_j2_cold = timed sweep in
+  let _, sweep_j2_warm = timed sweep in
+  Exec.set_jobs saved_jobs;
+  let ratios s = s.Experiments.Ratio.ratios in
+  let all_bit_eq a b =
+    Array.length a = Array.length b && Array.for_all2 bit_eq a b
+  in
+  let identity_cached_vs_uncached =
+    all_bit_eq (ratios sweep_cold) (ratios sweep_warm)
+    && all_bit_eq (ratios sweep_cold) (ratios sweep_uncached)
+  in
+  let identity_jobs1_vs_jobs2 =
+    all_bit_eq (ratios sweep_cold) (ratios sweep_j2_cold)
+    && all_bit_eq (ratios sweep_cold) (ratios sweep_j2_warm)
+  in
+  (* --- on-disk store round trip ------------------------------------ *)
+  let disk_dir = Filename.concat "_build" ".msp-opt-cache" in
+  let saved_dir = Offline.Opt_cache.disk_dir () in
+  Offline.Opt_cache.set_disk_dir (Some disk_dir);
+  let small =
+    line_gen ~t:32 (Prng.Stream.named ~name:"bench-solver-disk" ~seed:7)
+  in
+  let packed_small = MS.Instance.pack small in
+  Offline.Opt_cache.clear ();
+  let from_solve = Offline.Opt_cache.line_dp config packed_small in
+  Offline.Opt_cache.clear ();
+  let before_disk = Offline.Opt_cache.stats () in
+  let from_disk = Offline.Opt_cache.line_dp config packed_small in
+  let after_disk = Offline.Opt_cache.stats () in
+  Offline.Opt_cache.set_disk_dir saved_dir;
+  let identity_disk_roundtrip =
+    bit_eq from_solve from_disk
+    && after_disk.Offline.Opt_cache.disk_hits
+       > before_disk.Offline.Opt_cache.disk_hits
+  in
+  let stats = Offline.Opt_cache.stats () in
+  (* --- render ------------------------------------------------------ *)
+  Tables.print
+    ~title:"offline-solver timings (lower is better)"
+    (Tables.create
+       ~aligns:[ Tables.Left; Tables.Right; Tables.Right; Tables.Right ]
+       ~header:[ "operation"; "seed / cold"; "packed / warm"; "speedup" ]
+       [
+         [ Printf.sprintf "line-dp solve, T=%d (ms)" solve_t;
+           Tables.cell seed_ms; Tables.cell packed_ms;
+           Tables.cell cold_speedup ];
+         [ Printf.sprintf "ratio sweep, %d seeds (s)" sweep_seeds;
+           Tables.cell cold_s; Tables.cell warm_s;
+           Tables.cell warm_speedup ];
+       ]);
+  Printf.printf "cache stats                    : %d hits, %d misses, %d disk\n"
+    stats.Offline.Opt_cache.hits stats.Offline.Opt_cache.misses
+    stats.Offline.Opt_cache.disk_hits;
+  Printf.printf "packed = boxed = seed replica  : %b\n" identity_packed_vs_boxed;
+  Printf.printf "cached = uncached              : %b\n"
+    identity_cached_vs_uncached;
+  Printf.printf "jobs1 = jobs2 (cold and warm)  : %b\n" identity_jobs1_vs_jobs2;
+  Printf.printf "disk round trip                : %b\n%!"
+    identity_disk_roundtrip;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-solver-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"line_dp_rounds\": %d,\n" solve_t);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"line_dp_seed_ms\": %.6g,\n" seed_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"line_dp_packed_ms\": %.6g,\n" packed_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"line_dp_cold_speedup\": %.6g,\n" cold_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_seeds\": %d,\n" sweep_seeds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_cold_s\": %.6g,\n" cold_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_warm_s\": %.6g,\n" warm_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_warm_speedup\": %.6g,\n" warm_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_hits\": %d,\n" stats.Offline.Opt_cache.hits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_misses\": %d,\n"
+       stats.Offline.Opt_cache.misses);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_disk_hits\": %d,\n"
+       stats.Offline.Opt_cache.disk_hits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_packed_vs_boxed\": %b,\n"
+       identity_packed_vs_boxed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_cached_vs_uncached\": %b,\n"
+       identity_cached_vs_uncached);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_jobs1_vs_jobs2\": %b,\n"
+       identity_jobs1_vs_jobs2);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_disk_roundtrip\": %b\n"
+       identity_disk_roundtrip);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "solver report written to %s\n" out;
+  if not (identity_packed_vs_boxed && identity_cached_vs_uncached
+          && identity_jobs1_vs_jobs2 && identity_disk_roundtrip)
+  then begin
+    prerr_endline
+      "FATAL: solver rewrite or cache is not byte-identical to the baseline";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling: run a few multi-seed experiments at jobs=1 and at
    the requested jobs count, check the reports are byte-identical (the
    Exec determinism contract), and record wall-clock per experiment. *)
@@ -528,6 +857,7 @@ let () =
   let markdown_path = ref None in
   let parallel_out = ref "BENCH_parallel.json" in
   let hotpath_out = ref "BENCH_hotpath.json" in
+  let solver_out = ref "BENCH_solver.json" in
   let golden_path = ref Experiments.Golden.golden_path in
   let rec strip = function
     | [] -> []
@@ -548,6 +878,9 @@ let () =
     | "--hotpath-out" :: path :: rest ->
       hotpath_out := path;
       strip rest
+    | "--solver-out" :: path :: rest ->
+      solver_out := path;
+      strip rest
     | "--golden" :: path :: rest ->
       golden_path := path;
       strip rest
@@ -566,6 +899,7 @@ let () =
          run_parallel ~quick ~jobs:(Exec.jobs ()) ~out:!parallel_out ()
        | "hotpath" ->
          run_hotpath ~quick ~out:!hotpath_out ~golden:!golden_path ()
+       | "solver" -> run_solver ~quick ~out:!solver_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

@@ -85,6 +85,27 @@ let config_term =
   Term.(term_result
           (const make $ d_factor $ move_limit $ delta $ variant $ warm_start))
 
+let opt_cache_setup =
+  let setup no_cache dir =
+    if no_cache then Offline.Opt_cache.set_enabled false;
+    match dir with
+    | None -> ()
+    | Some d -> Offline.Opt_cache.set_disk_dir (Some d)
+  in
+  Term.(const setup
+        $ Arg.(value & flag
+               & info [ "no-opt-cache" ]
+                   ~doc:"Disable the offline-optimum memo cache (every \
+                         optimum is re-solved).  Cached and uncached runs \
+                         are byte-identical; this only trades time.")
+        $ Arg.(value & opt (some string) None
+               & info [ "opt-cache-dir" ] ~docv:"DIR"
+                   ~doc:"Persist offline optima to $(docv) (content-\
+                         addressed, one small file per entry) and reuse \
+                         them across runs.  Defaults to the \
+                         MSP_OPT_CACHE_DIR environment variable; unset \
+                         means in-memory only."))
+
 let jobs_setup =
   let setup = function
     | None -> Ok ()
@@ -145,9 +166,13 @@ let workload =
            ~doc:(Printf.sprintf "Workload family: %s."
                    (String.concat ", " workload_names)))
 
+(* The memo cache makes repeated [--opt] invocations on the same
+   instance (and the warm half of a [--opt-cache-dir] workflow) free;
+   defaults match the solvers', so cached and direct calls share keys. *)
 let compute_opt config inst =
-  if MS.Instance.dim inst = 1 then Offline.Line_dp.optimum config inst
-  else Offline.Convex_opt.optimum config inst
+  let packed = MS.Instance.pack inst in
+  if MS.Instance.dim inst = 1 then Offline.Opt_cache.line_dp config packed
+  else Offline.Opt_cache.convex config packed
 
 (* --- list ----------------------------------------------------------- *)
 
@@ -177,7 +202,7 @@ let with_opt =
            ~doc:"Also compute the offline optimum and report the ratio.")
 
 let run_cmd =
-  let action () config name wname dim t seed with_opt =
+  let action () () config name wname dim t seed with_opt =
     match Baselines.Registry.find ~dim name with
     | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" name))
     | Some alg ->
@@ -205,13 +230,13 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one algorithm on one workload.")
     Term.(term_result
-            (const action $ verbose $ config_term $ algorithm_name
-             $ workload $ dim $ rounds $ seed $ with_opt))
+            (const action $ verbose $ opt_cache_setup $ config_term
+             $ algorithm_name $ workload $ dim $ rounds $ seed $ with_opt))
 
 (* --- compare -------------------------------------------------------- *)
 
 let compare_cmd =
-  let action () () config wname dim t seed =
+  let action () () () config wname dim t seed =
     Result.map
       (fun inst ->
         let opt = compute_opt config inst in
@@ -237,8 +262,8 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run every algorithm on one workload.")
     Term.(term_result
-            (const action $ verbose $ jobs_setup $ config_term $ workload
-             $ dim $ rounds $ seed))
+            (const action $ verbose $ opt_cache_setup $ jobs_setup
+             $ config_term $ workload $ dim $ rounds $ seed))
 
 (* --- plot ------------------------------------------------------------ *)
 
@@ -352,7 +377,7 @@ let experiment_cmd =
     Arg.(value & flag
          & info [ "quick" ] ~doc:"Reduced horizons and seed counts.")
   in
-  let action () () id quick seed =
+  let action () () () id quick seed =
     try
       if id = "all" then
         List.iter Experiments.Catalog.print_result
@@ -367,7 +392,8 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Run a reproduction experiment from the catalog.")
     Term.(term_result
-            (const action $ verbose $ jobs_setup $ id $ quick $ seed))
+            (const action $ verbose $ opt_cache_setup $ jobs_setup $ id
+             $ quick $ seed))
 
 let () =
   let info =

@@ -635,14 +635,15 @@ let t1 ~seed ~quick =
         let cells =
           Exec.mapi
             (fun i rng ->
-              let inst = gen rng in
-              let opt = Offline.Convex_opt.optimum ~max_iter config inst in
+              let packed = Instance.pack (gen rng) in
+              let opt = Offline.Opt_cache.convex ~max_iter config packed in
               List.map
                 (fun alg ->
                   let alg_rng = Prng.Xoshiro.copy alg_streams.(i) in
                   let acc = Stats.Running.create () in
                   Stats.Running.add acc
-                    (Ratio.cost_pair ~rng:alg_rng config alg inst ~opt);
+                    (Ratio.cost_pair_packed ~rng:alg_rng config alg packed
+                       ~opt);
                   acc)
                 algorithms)
             streams
@@ -869,8 +870,9 @@ let a2 ~seed ~quick =
               let inst = gen rng in
               let collapsed = collapse_onto_centers config inst in
               let measure inst =
-                let opt = Offline.Line_dp.optimum config inst in
-                Engine.total_cost config mtc inst /. opt
+                let packed = Instance.pack inst in
+                let opt = Offline.Opt_cache.line_dp config packed in
+                Engine.total_cost_packed config mtc packed /. opt
               in
               let orig = Stats.Running.create () in
               let coll = Stats.Running.create () in
@@ -998,17 +1000,18 @@ let b1 ~seed ~quick =
         ~t:(if quick then 100 else 250) rng
     in
     let mobile = Network.Embedding.to_mobile_instance ~layout pm_inst in
+    let packed_mobile = Instance.pack mobile in
     let uncapped = Network.Pm_offline.optimum metric ~d_factor:d pm_inst in
     (* Each movement cap is an independent offline solve on the shared
-       (immutable) embedded instance. *)
+       (immutable, packed-once) embedded instance. *)
     Exec.map_list
       (fun m ->
         let config = Config.make ~d_factor:d ~move_limit:m ~delta:0.0 () in
         let capped =
-          Offline.Convex_opt.optimum ~max_iter:(if quick then 60 else 200)
-            config mobile
+          Offline.Opt_cache.convex ~max_iter:(if quick then 60 else 200)
+            config packed_mobile
         in
-        let mtc_cost = Engine.total_cost config mtc mobile in
+        let mtc_cost = Engine.total_cost_packed config mtc packed_mobile in
         [
           Tables.cell m; Tables.cell uncapped; Tables.cell capped;
           Tables.cell (capped /. uncapped); Tables.cell (mtc_cost /. capped);

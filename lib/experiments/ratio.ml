@@ -1,4 +1,5 @@
 module Engine = Mobile_server.Engine
+module Instance = Mobile_server.Instance
 
 type sample = { ratios : float array; mean : float; ci_lo : float; ci_hi : float }
 
@@ -16,6 +17,10 @@ let cost_pair ?rng config alg inst ~opt =
   if opt <= 0.0 then invalid_arg "Ratio.cost_pair: non-positive optimum";
   Engine.total_cost ?rng config alg inst /. opt
 
+let cost_pair_packed ?rng config alg packed ~opt =
+  if opt <= 0.0 then invalid_arg "Ratio.cost_pair: non-positive optimum";
+  Engine.total_cost_packed ?rng config alg packed /. opt
+
 let replicated ~seeds ~base_seed ~name f =
   if seeds < 1 then invalid_arg "Ratio: seeds < 1";
   let base = Prng.Stream.named ~name ~seed:base_seed in
@@ -32,22 +37,30 @@ let vs_construction ~seeds ~base_seed ~name config alg gen =
       let c = gen rng in
       Adversary.Construction.ratio_sample ~rng config alg c)
 
+(* The solver-backed samplers pack each cell's instance once: the
+   packed view feeds both the (cached) offline solve and the online
+   pricing, and the content-addressed {!Offline.Opt_cache} turns the
+   repeated solves of a sweep — the same replicate instances under the
+   same model, across knob values and reruns — into lookups.  Cached
+   and uncached sweeps are byte-identical at any jobs count. *)
+
 let vs_line_dp ?grid_per_m ~seeds ~base_seed ~name config alg gen =
   replicated ~seeds ~base_seed ~name (fun rng ->
-      let inst = gen rng in
-      let opt = Offline.Line_dp.optimum ?grid_per_m config inst in
-      cost_pair ~rng config alg inst ~opt)
+      let packed = Instance.pack (gen rng) in
+      let opt = Offline.Opt_cache.line_dp ?grid_per_m config packed in
+      cost_pair_packed ~rng config alg packed ~opt)
 
 let vs_convex ?max_iter ~seeds ~base_seed ~name config alg gen =
   replicated ~seeds ~base_seed ~name (fun rng ->
-      let inst = gen rng in
-      let opt = Offline.Convex_opt.optimum ?max_iter config inst in
-      cost_pair ~rng config alg inst ~opt)
+      let packed = Instance.pack (gen rng) in
+      let opt = Offline.Opt_cache.convex ?max_iter config packed in
+      cost_pair_packed ~rng config alg packed ~opt)
 
 let vs_construction_tight ?max_iter ~seeds ~base_seed ~name config alg gen =
   replicated ~seeds ~base_seed ~name (fun rng ->
       let c = gen rng in
-      let inst = c.Adversary.Construction.instance in
+      let packed = Instance.pack c.Adversary.Construction.instance in
       let via_trajectory = Adversary.Construction.adversary_cost config c in
-      let via_convex = Offline.Convex_opt.optimum ?max_iter config inst in
-      cost_pair ~rng config alg inst ~opt:(Float.min via_trajectory via_convex))
+      let via_convex = Offline.Opt_cache.convex ?max_iter config packed in
+      cost_pair_packed ~rng config alg packed
+        ~opt:(Float.min via_trajectory via_convex))

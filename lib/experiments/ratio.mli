@@ -60,3 +60,11 @@ val cost_pair :
   opt:float -> float
 (** [cost_pair config alg inst ~opt] is [cost(alg on inst) / opt];
     raises [Invalid_argument] when [opt <= 0]. *)
+
+val cost_pair_packed :
+  ?rng:Prng.Xoshiro.t -> Mobile_server.Config.t ->
+  Mobile_server.Algorithm.t -> Mobile_server.Instance.Packed.t ->
+  opt:float -> float
+(** {!cost_pair} on the struct-of-arrays view — bit-identical, and the
+    natural pairing with the {!Offline.Opt_cache} solver entry points
+    when the caller has already packed the instance. *)

@@ -46,15 +46,14 @@ let sort_prefix a n =
     sift 0 last
   done
 
-(* Service cost Σ_i |x − v_i| evaluated on every ascending grid point
-   in O(r log r + G), using sorted requests and prefix sums.  The
-   request coordinates are [data.(lo .. hi-1)] of the flat packed
-   buffer; [sorted] (>= r floats), [prefix] (>= r+1 floats) and [out]
-   (exactly G floats) are caller-owned scratch reused across rounds —
-   this used to allocate all three per round. *)
-let service_on_grid_flat data ~lo ~hi grid ~sorted ~prefix out =
-  let g = Array.length grid in
-  Array.fill out 0 g 0.0;
+(* Service cost Σ_i |x − v_i| at ascending query points, in
+   O(r log r) preparation plus O(1) amortized per query, using sorted
+   requests and prefix sums.  The request coordinates are
+   [data.(lo .. hi-1)] of the flat packed buffer; [sorted] (>= r
+   floats) and [prefix] (>= r+1 floats) are caller-owned scratch reused
+   across rounds — this used to allocate both (and a full G-point
+   service table) per round. *)
+let prepare_requests data ~lo ~hi ~sorted ~prefix =
   let r = hi - lo in
   if r > 0 then begin
     Array.blit data lo sorted 0 r;
@@ -62,41 +61,45 @@ let service_on_grid_flat data ~lo ~hi grid ~sorted ~prefix out =
     prefix.(0) <- 0.0;
     for i = 0 to r - 1 do
       prefix.(i + 1) <- prefix.(i) +. sorted.(i)
-    done;
-    let total = prefix.(r) in
+    done
+  end;
+  r
+
+(* Service at query [x]; [j] is the persistent two-pointer of an
+   ascending query sweep (it only ever advances, and re-synchronizes if
+   a query was skipped).  Exactly the per-point arithmetic of the
+   former service-table fill. *)
+let service_at ~r ~sorted ~prefix j x =
+  while !j < r && sorted.(!j) <= x do incr j done;
+  (* !j requests are <= x. *)
+  let below = float_of_int !j and sum_below = prefix.(!j) in
+  let above = float_of_int (r - !j)
+  and sum_above = prefix.(r) -. prefix.(!j) in
+  (below *. x) -. sum_below +. (sum_above -. (above *. x))
+
+(* Full service table over the grid — only the serve-first variant
+   needs it materialized (its transition keys read service at the
+   pre-move position); move-first streams {!service_at} directly in the
+   combine pass. *)
+let service_into ~r ~sorted ~prefix grid out =
+  let g = Array.length grid in
+  Array.fill out 0 g 0.0;
+  if r > 0 then begin
     let j = ref 0 in
     for k = 0 to g - 1 do
-      let x = grid.(k) in
-      while !j < r && sorted.(!j) <= x do incr j done;
-      (* !j requests are <= x. *)
-      let below = float_of_int !j and sum_below = prefix.(!j) in
-      let above = float_of_int (r - !j) and sum_above = total -. prefix.(!j) in
-      out.(k) <- (below *. x) -. sum_below +. (sum_above -. (above *. x))
+      out.(k) <- service_at ~r ~sorted ~prefix j grid.(k)
     done
   end
 
-(* Monotone deque: sliding-window minimum of [key] over windows of
-   half-width [w], reporting the minimizing index.  Scans left-to-right
-   for windows [k-w, k] and (by symmetry, called on reversed data)
-   covers [k, k+w].  [deque] is caller-owned scratch of at least
-   [Array.length key] ints — the solver reuses one buffer across all
-   rounds instead of allocating two [g]-sized arrays per round. *)
-let window_min_left ~w ~deque key out_val out_idx =
-  let g = Array.length key in
-  if Array.length deque < g then
-    invalid_arg "Line_dp.window_min_left: deque scratch too small";
-  let head = ref 0 and tail = ref 0 in
-  for k = 0 to g - 1 do
-    (* Drop indices that left the window. *)
-    while !head < !tail && deque.(!head) < k - w do incr head done;
-    (* Maintain increasing key values in the deque. *)
-    while !head < !tail && key.(deque.(!tail - 1)) >= key.(k) do decr tail done;
-    deque.(!tail) <- k;
-    incr tail;
-    let j = deque.(!head) in
-    out_val.(k) <- key.(j);
-    out_idx.(k) <- j
-  done
+(* The sliding-window minima in {!solve_packed} use a monotone deque
+   fused with the key computation: each transition key is computed
+   once, when its index enters the deque, and cached in [deque_key]
+   next to its slot — no materialized key array, no separate fill pass,
+   and (the scans being specialized inline) no indirect call per grid
+   point.  The key values, comparisons and tie-breaks (an equal key
+   evicts the older index) are exactly those of the textbook
+   fill-then-scan formulation, so the minima and minimizers — and with
+   them the whole DP table — are bit-identical to it. *)
 
 let solve_packed ?(grid_per_m = 64) (config : Config.t)
     (p : Instance.Packed.t) =
@@ -183,12 +186,10 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
   value.(start_idx) <- 0.0;
   (* Scratch arrays reused across all T rounds — the DP loop proper
      allocates nothing. *)
-  let key = Array.make g 0.0 in
   let left_val = Array.make g 0.0 and left_idx = Array.make g 0 in
-  let right_val = Array.make g 0.0 and right_idx = Array.make g 0 in
   let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
-  let next = Array.make g 0.0 in
   let deque = Array.make g 0 in
+  let deque_key = Array.make g 0.0 in
   let service = Array.make g 0.0 in
   let max_r = ref 0 in
   for t = 0 to t_len - 1 do
@@ -197,42 +198,78 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
   let sorted = Array.make (Stdlib.max 1 !max_r) 0.0 in
   let prefix = Array.make (!max_r + 1) 0.0 in
   let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
+  (* Base value of staying at y before moving: V(y) (+ service(y) when
+     the variant charges requests at the pre-move position).  Move-first
+     reads [value] directly; serve-first materializes V + service into
+     its own scratch row once per round — the sums are the same ones the
+     key computation used to perform, in the same order. *)
+  let base_arr = if serve_first then Array.make g 0.0 else value in
   for t = 0 to t_len - 1 do
-    service_on_grid_flat data ~lo:(Instance.Packed.round_start p t)
-      ~hi:(Instance.Packed.round_start p (t + 1))
-      grid ~sorted ~prefix service;
-    (* Base value of staying at y before moving: V(y) (+ service(y) when
-       the variant charges requests at the pre-move position). *)
-    let base j = if serve_first then value.(j) +. service.(j) else value.(j) in
-    (* Left window: j in [k-w, k]; minimize base(j) − D·x_j, add D·x_k. *)
-    for j = 0 to g - 1 do
-      key.(j) <- base j -. (d_factor *. grid.(j))
-    done;
-    window_min_left ~w ~deque key left_val left_idx;
-    (* Right window: j in [k, k+w]; scan the reversed array. *)
-    for j = 0 to g - 1 do
-      key.(j) <- base (g - 1 - j) +. (d_factor *. grid.(g - 1 - j))
-    done;
-    window_min_left ~w ~deque key rev_val rev_idx;
+    let r =
+      prepare_requests data ~lo:(Instance.Packed.round_start p t)
+        ~hi:(Instance.Packed.round_start p (t + 1))
+        ~sorted ~prefix
+    in
+    if serve_first then begin
+      service_into ~r ~sorted ~prefix grid service;
+      for j = 0 to g - 1 do
+        base_arr.(j) <- value.(j) +. service.(j)
+      done
+    end;
+    (* Left window: j in [k-w, k]; minimize base(j) − D·x_j (the D·x_k
+       term is added in the combine pass). *)
+    let head = ref 0 and tail = ref 0 in
     for k = 0 to g - 1 do
-      right_val.(k) <- rev_val.(g - 1 - k);
-      right_idx.(k) <- g - 1 - rev_idx.(g - 1 - k)
+      let key_k = base_arr.(k) -. (d_factor *. grid.(k)) in
+      (* Drop indices that left the window. *)
+      while !head < !tail && deque.(!head) < k - w do incr head done;
+      (* Maintain increasing key values in the deque. *)
+      while !head < !tail && deque_key.(!tail - 1) >= key_k do decr tail done;
+      deque.(!tail) <- k;
+      deque_key.(!tail) <- key_k;
+      incr tail;
+      left_val.(k) <- deque_key.(!head);
+      left_idx.(k) <- deque.(!head)
     done;
+    (* Right window: j in [k, k+w]; the same scan over the reversed
+       index space, exactly as the fill-then-scan version scanned a
+       reversed key array. *)
+    let head = ref 0 and tail = ref 0 in
+    for j = 0 to g - 1 do
+      let i = g - 1 - j in
+      let key_j = base_arr.(i) +. (d_factor *. grid.(i)) in
+      while !head < !tail && deque.(!head) < j - w do incr head done;
+      while !head < !tail && deque_key.(!tail - 1) >= key_j do decr tail done;
+      deque.(!tail) <- j;
+      deque_key.(!tail) <- key_j;
+      incr tail;
+      rev_val.(j) <- deque_key.(!head);
+      rev_idx.(j) <- deque.(!head)
+    done;
+    (* Both scans have consumed [value], so the combine pass writes the
+       round's new table straight back into it — no [next] buffer, no
+       copy-back pass. *)
+    let js = ref 0 in
     for k = 0 to g - 1 do
       let x = grid.(k) in
-      let from_left = left_val.(k) +. (d_factor *. x) in
-      let from_right = right_val.(k) -. (d_factor *. x) in
-      let best_val, best_j =
-        if from_left <= from_right then (from_left, left_idx.(k))
-        else (from_right, right_idx.(k))
+      let dx = d_factor *. x in
+      let from_left = left_val.(k) +. dx in
+      (* The right-scan results are read back mirrored — the dedicated
+         un-reversal pass of the textbook formulation is folded away. *)
+      let from_right = rev_val.(g - 1 - k) -. dx in
+      let take_left = from_left <= from_right in
+      let best_val = if take_left then from_left else from_right in
+      let best_j =
+        if take_left then left_idx.(k) else g - 1 - rev_idx.(g - 1 - k)
       in
-      next.(k) <-
+      value.(k) <-
         (if Float.is_finite best_val then
-           if serve_first then best_val else best_val +. service.(k)
+           if serve_first then best_val
+           else if r = 0 then best_val +. 0.0
+           else best_val +. service_at ~r ~sorted ~prefix js x
          else inf);
       Bytes.set parents ((t * g) + k) (Char.chr (best_j - k + 128))
-    done;
-    Array.blit next 0 value 0 g
+    done
   done;
   (* Best terminal state, then walk parents back. *)
   let best_k = ref 0 in

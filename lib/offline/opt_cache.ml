@@ -1,0 +1,190 @@
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Variant = Mobile_server.Variant
+
+type stats = { hits : int; misses : int; disk_hits : int; evictions : int }
+
+(* Every piece of mutable state sits behind one mutex: the experiment
+   engine calls into the cache from worker domains.  Values are pure
+   functions of their keys, so concurrent duplicate computes (we never
+   hold the lock across a solve) are wasteful at worst, never wrong. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* digest -> (optimum cost, last-use tick) *)
+let table : (string, float * int) Hashtbl.t = Hashtbl.create 512
+let clock = ref 0
+let capacity = ref 512
+let enabled = ref true
+let dir = ref (Sys.getenv_opt "MSP_OPT_CACHE_DIR")
+let hits = ref 0
+let misses = ref 0
+let disk_hits = ref 0
+let evictions = ref 0
+
+(* The key covers exactly what an offline solve can observe: the solver
+   id with its resolution knobs, the model parameters D and the offline
+   budget (= [move_limit]) plus the cost variant, and the full IEEE bit
+   pattern of the instance via [Instance.Packed.serialize].  [delta] and
+   [warm_start] shape online runs only and are deliberately excluded —
+   sweeping them must keep hitting the same entries. *)
+let key ~solver (config : Config.t) packed =
+  let buf = Buffer.create (64 + String.length solver) in
+  Buffer.add_string buf "msp-opt-cache-v1\n";
+  Buffer.add_string buf solver;
+  Buffer.add_char buf '\n';
+  Buffer.add_int64_le buf (Int64.bits_of_float config.Config.d_factor);
+  Buffer.add_int64_le buf (Int64.bits_of_float config.Config.move_limit);
+  Buffer.add_char buf
+    (if Variant.equal config.Config.variant Variant.Serve_first then 'S'
+     else 'M');
+  Buffer.add_string buf (Instance.Packed.serialize packed);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- optional on-disk store ----------------------------------------- *)
+
+let disk_path d digest = Filename.concat d (digest ^ ".opt")
+
+(* Costs travel as IEEE-754 bits in hex — never [float_of_string],
+   which is lossy in text round-trips and a lint-banned NaN source. *)
+let disk_read d digest =
+  match open_in_bin (disk_path d digest) with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+          (match Int64.of_string ("0x" ^ String.trim line) with
+           | exception Failure _ -> None
+           | bits -> Some (Int64.float_of_bits bits)))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if String.length parent < String.length d then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* Best-effort and atomic: a unique temp file renamed into place, so a
+   concurrent reader sees either nothing or a complete entry.  Any IO
+   failure silently degrades to an uncached solve. *)
+let disk_write d digest value =
+  try
+    mkdir_p d;
+    let tmp = Filename.temp_file ~temp_dir:d "opt-" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Printf.sprintf "%016Lx\n" (Int64.bits_of_float value)));
+    Sys.rename tmp (disk_path d digest)
+  with Sys_error _ -> ()
+
+(* --- in-memory LRU --------------------------------------------------- *)
+
+(* Caller holds the lock.  O(n) victim scan, acceptable at the default
+   capacity and paid only on inserts past the limit. *)
+let evict_over_capacity () =
+  while Hashtbl.length table > !capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k (_, tick) ->
+        match !victim with
+        | Some (_, best) when best <= tick -> ()
+        | _ -> victim := Some (k, tick))
+      table;
+    match !victim with
+    | Some (k, _) ->
+      Hashtbl.remove table k;
+      incr evictions
+    | None -> ()
+  done
+
+let find_or_compute ~solver config packed compute =
+  if not (with_lock (fun () -> !enabled)) then compute ()
+  else begin
+    let digest = key ~solver config packed in
+    let mem =
+      with_lock (fun () ->
+          match Hashtbl.find_opt table digest with
+          | Some (v, _) ->
+            incr clock;
+            Hashtbl.replace table digest (v, !clock);
+            incr hits;
+            Some v
+          | None -> None)
+    in
+    match mem with
+    | Some v -> v
+    | None ->
+      let d = with_lock (fun () -> !dir) in
+      (match Option.bind d (fun d -> disk_read d digest) with
+       | Some v ->
+         with_lock (fun () ->
+             incr disk_hits;
+             incr clock;
+             Hashtbl.replace table digest (v, !clock);
+             evict_over_capacity ());
+         v
+       | None ->
+         let v = compute () in
+         with_lock (fun () ->
+             incr misses;
+             incr clock;
+             Hashtbl.replace table digest (v, !clock);
+             evict_over_capacity ());
+         (match d with None -> () | Some d -> disk_write d digest v);
+         v)
+  end
+
+(* --- solver entry points --------------------------------------------- *)
+
+(* Defaults mirror the wrapped solvers, so a cached call with all
+   options omitted keys the same entry as an explicit default call. *)
+
+let line_dp ?(grid_per_m = 64) config packed =
+  find_or_compute
+    ~solver:(Printf.sprintf "line-dp:g%d" grid_per_m)
+    config packed
+    (fun () -> Line_dp.optimum_packed ~grid_per_m config packed)
+
+let convex ?(max_iter = 400) ?(sweeps = 30) config packed =
+  find_or_compute
+    ~solver:(Printf.sprintf "convex:i%d:s%d" max_iter sweeps)
+    config packed
+    (fun () -> Convex_opt.optimum_packed ~max_iter ~sweeps config packed)
+
+(* --- administration --------------------------------------------------- *)
+
+let set_enabled b = with_lock (fun () -> enabled := b)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Opt_cache.set_capacity: capacity < 1";
+  with_lock (fun () ->
+      capacity := n;
+      evict_over_capacity ())
+
+let set_disk_dir d = with_lock (fun () -> dir := d)
+
+let disk_dir () = with_lock (fun () -> !dir)
+
+let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+let stats () =
+  with_lock (fun () ->
+      { hits = !hits; misses = !misses; disk_hits = !disk_hits;
+        evictions = !evictions })
+
+let reset_stats () =
+  with_lock (fun () ->
+      hits := 0;
+      misses := 0;
+      disk_hits := 0;
+      evictions := 0)

@@ -1,0 +1,73 @@
+(** Content-addressed memo for offline optima.
+
+    The experiment sweeps (ratio curves, parameter grids, the CLI's
+    [--opt] paths) re-solve the same instance under the same model many
+    times: replicate streams are deterministic, so the instances repeat
+    across knob values, warm reruns and jobs counts.  This cache keys an
+    optimum cost by the MD5 digest of
+
+    - the solver id including its resolution knobs (grid density,
+      iteration budgets),
+    - the model parameters an offline solve can observe — [d_factor],
+      the offline budget [move_limit] and the {!Mobile_server.Variant} —
+      as raw IEEE bits ([delta] and [warm_start] are excluded: they
+      affect online runs only, so sweeping them hits the same entries),
+    - the instance's {!Mobile_server.Instance.Packed.serialize} bytes.
+
+    Because the digest covers every bit the solver can see, a hit
+    returns exactly the float the solve would have produced: cached and
+    uncached sweeps are byte-identical, at any [--jobs] count.  The
+    in-memory table is a mutex-protected LRU shared by all worker
+    domains; the optional on-disk store (one small file per entry,
+    written atomically) persists optima across processes.  Both layers
+    are best-effort — any disk failure degrades to an uncached solve. *)
+
+type stats = {
+  hits : int;  (** In-memory hits. *)
+  misses : int;  (** Full misses — an actual solve ran. *)
+  disk_hits : int;  (** Served from the on-disk store. *)
+  evictions : int;  (** LRU evictions from the in-memory table. *)
+}
+
+val line_dp :
+  ?grid_per_m:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> float
+(** Cached {!Line_dp.optimum_packed}; defaults mirror the solver's. *)
+
+val convex :
+  ?max_iter:int -> ?sweeps:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> float
+(** Cached {!Convex_opt.optimum_packed}; defaults mirror the solver's. *)
+
+val find_or_compute :
+  solver:string -> Mobile_server.Config.t ->
+  Mobile_server.Instance.Packed.t -> (unit -> float) -> float
+(** [find_or_compute ~solver config packed compute] is the generic memo:
+    [solver] must determine the computation (including every resolution
+    knob) given the config and instance.  [compute] runs outside the
+    cache lock, so concurrent domains may duplicate a solve for the same
+    key; values are pure functions of the key, so this is harmless. *)
+
+val set_enabled : bool -> unit
+(** Turn the cache off (every call computes) or back on.  On by
+    default. *)
+
+val set_capacity : int -> unit
+(** Resize the in-memory LRU (default 512 entries), evicting down to
+    the new size.  Raises [Invalid_argument] if the capacity is < 1. *)
+
+val set_disk_dir : string option -> unit
+(** Set or clear the on-disk store directory (created on first write).
+    Initialized from the [MSP_OPT_CACHE_DIR] environment variable. *)
+
+val disk_dir : unit -> string option
+(** The current on-disk store directory, if any. *)
+
+val clear : unit -> unit
+(** Drop every in-memory entry (the on-disk store is untouched). *)
+
+val stats : unit -> stats
+(** Hit/miss counters since start or {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+(** Zero the counters. *)

@@ -227,6 +227,105 @@ let qcheck_trajectory_packed =
       float_bit_equal boxed.Cost.move packed.Cost.move
       && float_bit_equal boxed.Cost.service packed.Cost.service)
 
+(* --- OPT cache: hits are bitwise equal to misses --------------------- *)
+
+let line_inst rng ~t =
+  Workloads.Clusters.generate ~r_min:2 ~r_max:2 ~arena:8.0 ~dim:1 ~t rng
+
+let cache_hit_equals_miss () =
+  Offline.Opt_cache.set_disk_dir None;
+  let config = Config.make ~d_factor:3.0 ~move_limit:1.0 () in
+  let rng = Prng.Stream.named ~name:"packed-cache" ~seed:5 in
+  let p1 = Instance.pack (line_inst rng ~t:24) in
+  Offline.Opt_cache.clear ();
+  let direct = Offline.Line_dp.optimum_packed config p1 in
+  let miss = Offline.Opt_cache.line_dp config p1 in
+  let hit = Offline.Opt_cache.line_dp config p1 in
+  check_float_bits "line-dp miss = direct" direct miss;
+  check_float_bits "line-dp hit = direct" direct hit;
+  let p2 =
+    Instance.pack (Workloads.Clusters.generate ~dim:2 ~t:10 rng)
+  in
+  let direct =
+    Offline.Convex_opt.optimum_packed ~max_iter:30 ~sweeps:3 config p2
+  in
+  let miss = Offline.Opt_cache.convex ~max_iter:30 ~sweeps:3 config p2 in
+  let hit = Offline.Opt_cache.convex ~max_iter:30 ~sweeps:3 config p2 in
+  check_float_bits "convex miss = direct" direct miss;
+  check_float_bits "convex hit = direct" direct hit
+
+(* The key deliberately excludes [delta] and [warm_start]: they shape
+   online runs only, so sweeping them must keep hitting the entry the
+   base config created. *)
+let cache_key_ignores_online_knobs () =
+  Offline.Opt_cache.set_disk_dir None;
+  let rng = Prng.Stream.named ~name:"packed-cache-knobs" ~seed:6 in
+  let p = Instance.pack (line_inst rng ~t:16) in
+  let c0 = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.0 () in
+  let c1 = Config.with_warm_start (Config.with_delta c0 0.7) true in
+  Offline.Opt_cache.clear ();
+  let a = Offline.Opt_cache.line_dp c0 p in
+  let hits_before = (Offline.Opt_cache.stats ()).Offline.Opt_cache.hits in
+  let b = Offline.Opt_cache.line_dp c1 p in
+  let hits_after = (Offline.Opt_cache.stats ()).Offline.Opt_cache.hits in
+  check_float_bits "same optimum under online-only knob changes" a b;
+  Alcotest.(check int) "second call was a cache hit" (hits_before + 1)
+    hits_after
+
+(* Cached, warm-cached, cache-disabled, and jobs=1 vs jobs=2 sweeps all
+   produce bitwise-identical ratio samples. *)
+let cache_sweep_jobs_identity () =
+  Offline.Opt_cache.set_disk_dir None;
+  let config = Config.make ~d_factor:4.0 ~delta:0.5 () in
+  let sweep () =
+    Experiments.Ratio.vs_line_dp ~seeds:4 ~base_seed:3
+      ~name:"packed-cache-sweep" config MS.Mtc.algorithm
+      (fun rng -> line_inst rng ~t:24)
+  in
+  let saved = Exec.jobs () in
+  Exec.set_jobs 1;
+  Offline.Opt_cache.clear ();
+  let cold1 = sweep () in
+  let warm1 = sweep () in
+  Offline.Opt_cache.set_enabled false;
+  let uncached = sweep () in
+  Offline.Opt_cache.set_enabled true;
+  Exec.set_jobs 2;
+  Offline.Opt_cache.clear ();
+  let cold2 = sweep () in
+  let warm2 = sweep () in
+  Exec.set_jobs saved;
+  let check name a b =
+    if
+      not
+        (Array.for_all2 float_bit_equal a.Experiments.Ratio.ratios
+           b.Experiments.Ratio.ratios)
+    then Alcotest.failf "%s: ratio samples differ" name
+  in
+  check "warm = cold (jobs 1)" cold1 warm1;
+  check "uncached = cached" cold1 uncached;
+  check "jobs 2 cold = jobs 1" cold1 cold2;
+  check "jobs 2 warm = jobs 1" cold1 warm2
+
+let cache_disk_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "msp-opt-cache-test"
+  in
+  let saved = Offline.Opt_cache.disk_dir () in
+  Offline.Opt_cache.set_disk_dir (Some dir);
+  let config = Config.make ~d_factor:2.0 () in
+  let rng = Prng.Stream.named ~name:"packed-cache-disk" ~seed:9 in
+  let p = Instance.pack (line_inst rng ~t:12) in
+  Offline.Opt_cache.clear ();
+  let solved = Offline.Opt_cache.line_dp config p in
+  Offline.Opt_cache.clear ();
+  let before = (Offline.Opt_cache.stats ()).Offline.Opt_cache.disk_hits in
+  let from_disk = Offline.Opt_cache.line_dp config p in
+  let after = (Offline.Opt_cache.stats ()).Offline.Opt_cache.disk_hits in
+  Offline.Opt_cache.set_disk_dir saved;
+  check_float_bits "disk entry round-trips the exact bits" solved from_disk;
+  Alcotest.(check bool) "disk hit recorded" true (after > before)
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -251,4 +350,15 @@ let () =
         ] );
       ( "engine",
         [ q qcheck_engine_packed; q qcheck_trajectory_packed ] );
+      ( "opt-cache",
+        [
+          Alcotest.test_case "hit = miss = direct" `Quick
+            cache_hit_equals_miss;
+          Alcotest.test_case "key ignores online-only knobs" `Quick
+            cache_key_ignores_online_knobs;
+          Alcotest.test_case "sweeps: cached/uncached, jobs 1/2" `Quick
+            cache_sweep_jobs_identity;
+          Alcotest.test_case "disk store round-trips bits" `Quick
+            cache_disk_roundtrip;
+        ] );
     ]
