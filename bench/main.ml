@@ -21,6 +21,12 @@
                                                  verdicts (JSON to
                                                  BENCH_solver.json, or
                                                  --solver-out PATH)
+     dune exec bench/main.exe -- network      -- CSR graphs + unboxed Dijkstra
+                                                 + flat-metric PM optima vs the
+                                                 pre-CSR replica, with
+                                                 byte-identity verdicts (JSON
+                                                 to BENCH_network.json, or
+                                                 --network-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -794,6 +800,391 @@ let run_solver ~quick ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Network benchmark: the CSR graph stack — unboxed Dijkstra into one
+   flat metric table, lazy rows, and the flat-row Page Migration DP —
+   priced against faithful replicas of the pre-CSR implementations
+   (list adjacency, tuple-heap Dijkstra, per-pair distance calls in
+   the DP), plus the identity checks that prove the rewrite changed no
+   science.  JSON lands in BENCH_network.json (or --network-out). *)
+
+(* Replicas of the pre-CSR graph/metric/DP code: the exact arithmetic
+   and data structures of the seed network stack.  Kept here (not in
+   lib/) so the comparison target cannot drift into production use. *)
+module Network_replica = struct
+  type graph = { n : int; adjacency : (int * float) list array }
+
+  (* Rebuild the historical adjacency-list representation from the
+     canonical edge list — cons per endpoint in edge order, exactly
+     like the seed [Graph.of_edges]. *)
+  let of_graph g =
+    let n = Network.Graph.nodes g in
+    let adjacency = Array.make n [] in
+    List.iter
+      (fun (u, v, len) ->
+        adjacency.(u) <- (v, len) :: adjacency.(u);
+        adjacency.(v) <- (u, len) :: adjacency.(v))
+      (Network.Graph.edges g);
+    { n; adjacency }
+
+  (* The seed's binary heap on boxed (distance, node) pairs. *)
+  module Heap = struct
+    type t = {
+      mutable data : (float * int) array;
+      mutable size : int;
+    }
+
+    let create capacity =
+      { data = Array.make (Stdlib.max 1 capacity) (0.0, 0); size = 0 }
+
+    let swap h i j =
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(j);
+      h.data.(j) <- tmp
+
+    let rec sift_up h i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if fst h.data.(i) < fst h.data.(parent) then begin
+          swap h i parent;
+          sift_up h parent
+        end
+      end
+
+    let rec sift_down h i =
+      let left = (2 * i) + 1 and right = (2 * i) + 2 in
+      let smallest = ref i in
+      if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then
+        smallest := left;
+      if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then
+        smallest := right;
+      if !smallest <> i then begin
+        swap h i !smallest;
+        sift_down h !smallest
+      end
+
+    let push h entry =
+      if h.size = Array.length h.data then begin
+        let grown = Array.make (2 * h.size) (0.0, 0) in
+        Array.blit h.data 0 grown 0 h.size;
+        h.data <- grown
+      end;
+      h.data.(h.size) <- entry;
+      h.size <- h.size + 1;
+      sift_up h (h.size - 1)
+
+    let pop h =
+      if h.size = 0 then None
+      else begin
+        let top = h.data.(0) in
+        h.size <- h.size - 1;
+        if h.size > 0 then begin
+          h.data.(0) <- h.data.(h.size);
+          sift_down h 0
+        end;
+        Some top
+      end
+  end
+
+  let single_source g s =
+    let dist = Array.make g.n infinity in
+    dist.(s) <- 0.0;
+    let heap = Heap.create g.n in
+    Heap.push heap (0.0, s);
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (v, len) ->
+              let nd = d +. len in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Heap.push heap (nd, v)
+              end)
+            g.adjacency.(u);
+        loop ()
+    in
+    loop ();
+    dist
+
+  type metric = { n : int; table : float array array }
+
+  let all_pairs (g : graph) =
+    { n = g.n; table = Array.init g.n (single_source g) }
+
+  let distance m u v =
+    if u < 0 || u >= m.n || v < 0 || v >= m.n then
+      invalid_arg "distance: node out of range";
+    m.table.(u).(v)
+
+  (* The seed Pm_offline.solve: per-pair [distance] calls, service
+     refolded per destination, sequential scan. *)
+  let pm_solve metric ~d_factor (inst : Network.Pm_model.instance) =
+    let t_len = Array.length inst.Network.Pm_model.rounds in
+    let n = metric.n in
+    let value = Array.make n infinity in
+    value.(inst.Network.Pm_model.start) <- 0.0;
+    let parents = Array.make_matrix t_len n 0 in
+    let next = Array.make n 0.0 in
+    for t = 0 to t_len - 1 do
+      let requests = inst.Network.Pm_model.rounds.(t) in
+      for x = 0 to n - 1 do
+        let service =
+          Array.fold_left
+            (fun acc v -> acc +. distance metric x v)
+            0.0 requests
+        in
+        let best = ref infinity and best_y = ref 0 in
+        for y = 0 to n - 1 do
+          if Float.is_finite value.(y) then begin
+            let c = value.(y) +. (d_factor *. distance metric y x) in
+            if c < !best then begin
+              best := c;
+              best_y := y
+            end
+          end
+        done;
+        next.(x) <- !best +. service;
+        parents.(t).(x) <- !best_y
+      done;
+      Array.blit next 0 value 0 n
+    done;
+    let best_x = ref 0 in
+    for x = 1 to n - 1 do
+      if value.(x) < value.(!best_x) then best_x := x
+    done;
+    let positions = Array.make t_len 0 in
+    let x = ref !best_x in
+    for t = t_len - 1 downto 0 do
+      positions.(t) <- !x;
+      x := parents.(t).(!x)
+    done;
+    (value.(!best_x), positions)
+end
+
+let run_network ~quick ~out () =
+  print_endline "\n=== NETWORK: CSR graphs, unboxed Dijkstra, PM optima ===\n";
+  let bit_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let n = if quick then 120 else 400 in
+  let t_len = if quick then 64 else 256 in
+  let d = 4.0 in
+  let rng = Prng.Stream.named ~name:"bench-network" ~seed:1 in
+  let graph, _layout = Network.Graph.random_geometric ~n rng in
+  let replica = Network_replica.of_graph graph in
+  let edge_count = List.length (Network.Graph.edges graph) in
+  (* Requests: a handful of nodes per round, the shape that exercises
+     both the service fold and the migration scan. *)
+  let inst =
+    Network.Pm_model.make_instance graph ~start:0
+      (Array.init t_len (fun _ ->
+           Array.init 4 (fun _ -> Prng.Xoshiro.next_below rng n)))
+  in
+  (* --- cold all-pairs construction --------------------------------- *)
+  let ap_reps = if quick then 3 else 10 in
+  let ap_replica_ms =
+    time_per ~repeat:ap_reps (fun () -> Network_replica.all_pairs replica)
+    *. 1e3
+  in
+  let ap_csr_ms =
+    time_per ~repeat:ap_reps (fun () -> Network.Dijkstra.all_pairs graph)
+    *. 1e3
+  in
+  let ap_speedup = ap_replica_ms /. ap_csr_ms in
+  let rmetric = Network_replica.all_pairs replica in
+  let metric = Network.Dijkstra.all_pairs graph in
+  (* --- per-query distance ------------------------------------------ *)
+  let queries = if quick then 20_000 else 100_000 in
+  let qu = Array.init queries (fun _ -> Prng.Xoshiro.next_below rng n) in
+  let qv = Array.init queries (fun _ -> Prng.Xoshiro.next_below rng n) in
+  let query_reps = if quick then 20 else 50 in
+  let sum_queries dist =
+    let acc = ref 0.0 in
+    for i = 0 to queries - 1 do
+      acc := !acc +. dist qu.(i) qv.(i)
+    done;
+    !acc
+  in
+  let per_query secs = secs /. float_of_int queries *. 1e9 in
+  let query_replica_ns =
+    per_query
+      (time_per ~repeat:query_reps (fun () ->
+           sum_queries (Network_replica.distance rmetric)))
+  in
+  let query_csr_ns =
+    per_query
+      (time_per ~repeat:query_reps (fun () ->
+           sum_queries (Network.Dijkstra.distance metric)))
+  in
+  (* --- offline DP solve -------------------------------------------- *)
+  let dp_reps = if quick then 2 else 3 in
+  let dp_replica_ms =
+    time_per ~repeat:dp_reps (fun () ->
+        Network_replica.pm_solve rmetric ~d_factor:d inst)
+    *. 1e3
+  in
+  let dp_csr_ms =
+    time_per ~repeat:dp_reps (fun () ->
+        Network.Pm_offline.solve metric ~d_factor:d inst)
+    *. 1e3
+  in
+  let dp_speedup = dp_replica_ms /. dp_csr_ms in
+  (* --- identity: the science did not move --------------------------- *)
+  let flat = Network.Dijkstra.dense_table metric in
+  let identity_allpairs =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      let row = rmetric.Network_replica.table.(u) in
+      for v = 0 to n - 1 do
+        if not (bit_eq row.(v) flat.((u * n) + v)) then ok := false
+      done
+    done;
+    !ok
+  in
+  (* Lazy rows, with a capacity forcing evictions, must reproduce the
+     dense table bit for bit. *)
+  let identity_lazy =
+    let lazym = Network.Dijkstra.lazy_metric ~capacity:32 graph in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if
+          not
+            (bit_eq
+               (Network.Dijkstra.distance lazym u v)
+               flat.((u * n) + v))
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  let replica_cost, replica_positions =
+    Network_replica.pm_solve rmetric ~d_factor:d inst
+  in
+  let sol = Network.Pm_offline.solve metric ~d_factor:d inst in
+  let identity_dp =
+    bit_eq replica_cost sol.Network.Pm_offline.cost
+    && replica_positions = sol.Network.Pm_offline.positions
+  in
+  (* Cached optimum: cold miss, warm hit, both equal to the direct
+     solve bit for bit. *)
+  Offline.Opt_cache.reset_stats ();
+  let cache_t0 = Unix.gettimeofday () in
+  let cached_cold =
+    Network.Pm_offline.optimum_cached ~graph metric ~d_factor:d inst
+  in
+  let cache_cold_ms = (Unix.gettimeofday () -. cache_t0) *. 1e3 in
+  let cache_t1 = Unix.gettimeofday () in
+  let cached_warm =
+    Network.Pm_offline.optimum_cached ~graph metric ~d_factor:d inst
+  in
+  let cache_warm_ms = (Unix.gettimeofday () -. cache_t1) *. 1e3 in
+  let cache_stats = Offline.Opt_cache.stats () in
+  let identity_cached =
+    bit_eq cached_cold sol.Network.Pm_offline.cost
+    && bit_eq cached_warm sol.Network.Pm_offline.cost
+    && cache_stats.Offline.Opt_cache.hits > 0
+  in
+  (* jobs=2 must reproduce the jobs=1 table and DP bit for bit. *)
+  let saved_jobs = Exec.jobs () in
+  Exec.set_jobs 2;
+  let metric_j2 = Network.Dijkstra.all_pairs graph in
+  let sol_j2 = Network.Pm_offline.solve metric_j2 ~d_factor:d inst in
+  Exec.set_jobs saved_jobs;
+  let identity_jobs =
+    let flat_j2 = Network.Dijkstra.dense_table metric_j2 in
+    let ok = ref (Array.length flat_j2 = Array.length flat) in
+    if !ok then
+      for i = 0 to Array.length flat - 1 do
+        if not (bit_eq flat.(i) flat_j2.(i)) then ok := false
+      done;
+    !ok
+    && bit_eq sol.Network.Pm_offline.cost sol_j2.Network.Pm_offline.cost
+    && sol.Network.Pm_offline.positions = sol_j2.Network.Pm_offline.positions
+  in
+  (* --- render ------------------------------------------------------ *)
+  Tables.print
+    ~title:"network timings (lower is better)"
+    (Tables.create
+       ~aligns:[ Tables.Left; Tables.Right; Tables.Right; Tables.Right ]
+       ~header:[ "operation"; "replica"; "CSR"; "speedup" ]
+       [
+         [ Printf.sprintf "all-pairs, n=%d (ms)" n;
+           Tables.cell ap_replica_ms; Tables.cell ap_csr_ms;
+           Tables.cell ap_speedup ];
+         [ "distance query (ns)"; Tables.cell query_replica_ns;
+           Tables.cell query_csr_ns;
+           Tables.cell (query_replica_ns /. query_csr_ns) ];
+         [ Printf.sprintf "PM offline DP, T=%d (ms)" t_len;
+           Tables.cell dp_replica_ms; Tables.cell dp_csr_ms;
+           Tables.cell dp_speedup ];
+         [ "cached PM optimum (ms)"; Tables.cell cache_cold_ms;
+           Tables.cell cache_warm_ms;
+           Tables.cell (cache_cold_ms /. Float.max 1e-6 cache_warm_ms) ];
+       ]);
+  Printf.printf "replica = CSR (all-pairs)     : %b\n" identity_allpairs;
+  Printf.printf "lazy = dense                  : %b\n" identity_lazy;
+  Printf.printf "replica = CSR (DP solve)      : %b\n" identity_dp;
+  Printf.printf "cached = uncached             : %b\n" identity_cached;
+  Printf.printf "jobs1 = jobs2                 : %b\n%!" identity_jobs;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-network-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"nodes\": %d,\n" n);
+  Buffer.add_string buf (Printf.sprintf "  \"edges\": %d,\n" edge_count);
+  Buffer.add_string buf (Printf.sprintf "  \"rounds\": %d,\n" t_len);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"allpairs_replica_ms\": %.6g,\n" ap_replica_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"allpairs_csr_ms\": %.6g,\n" ap_csr_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"allpairs_speedup\": %.6g,\n" ap_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"query_replica_ns\": %.6g,\n" query_replica_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"query_csr_ns\": %.6g,\n" query_csr_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"query_speedup\": %.6g,\n"
+       (query_replica_ns /. query_csr_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pm_dp_replica_ms\": %.6g,\n" dp_replica_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pm_dp_csr_ms\": %.6g,\n" dp_csr_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pm_dp_speedup\": %.6g,\n" dp_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pm_cache_cold_ms\": %.6g,\n" cache_cold_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pm_cache_warm_ms\": %.6g,\n" cache_warm_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_allpairs_replica_vs_csr\": %b,\n"
+       identity_allpairs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_lazy_vs_dense\": %b,\n" identity_lazy);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_dp_replica_vs_csr\": %b,\n" identity_dp);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_cached_vs_uncached\": %b,\n" identity_cached);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_jobs1_vs_jobs2\": %b\n" identity_jobs);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "network report written to %s\n" out;
+  if
+    not
+      (identity_allpairs && identity_lazy && identity_dp && identity_cached
+       && identity_jobs)
+  then begin
+    prerr_endline
+      "FATAL: network rewrite is not byte-identical to the baseline";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling: run a few multi-seed experiments at jobs=1 and at
    the requested jobs count, check the reports are byte-identical (the
    Exec determinism contract), and record wall-clock per experiment. *)
@@ -858,6 +1249,7 @@ let () =
   let parallel_out = ref "BENCH_parallel.json" in
   let hotpath_out = ref "BENCH_hotpath.json" in
   let solver_out = ref "BENCH_solver.json" in
+  let network_out = ref "BENCH_network.json" in
   let golden_path = ref Experiments.Golden.golden_path in
   let rec strip = function
     | [] -> []
@@ -881,6 +1273,9 @@ let () =
     | "--solver-out" :: path :: rest ->
       solver_out := path;
       strip rest
+    | "--network-out" :: path :: rest ->
+      network_out := path;
+      strip rest
     | "--golden" :: path :: rest ->
       golden_path := path;
       strip rest
@@ -900,6 +1295,7 @@ let () =
        | "hotpath" ->
          run_hotpath ~quick ~out:!hotpath_out ~golden:!golden_path ()
        | "solver" -> run_solver ~quick ~out:!solver_out ()
+       | "network" -> run_network ~quick ~out:!network_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

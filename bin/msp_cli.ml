@@ -371,7 +371,8 @@ let audit_cmd =
 let experiment_cmd =
   let id =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"ID" ~doc:"Experiment id (e1..e9, t1, or 'all').")
+         & info [] ~docv:"ID"
+             ~doc:"Experiment id (e1..e10, t1, a1, a2, x1, b1, or 'all').")
   in
   let quick =
     Arg.(value & flag

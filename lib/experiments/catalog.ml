@@ -952,7 +952,10 @@ let b1 ~seed ~quick =
               let inst =
                 Network.Pm_model.localized_requests graph ~t:t_len rng
               in
-              let opt = Network.Pm_offline.optimum metric ~d_factor:d inst in
+              let opt =
+                Network.Pm_offline.optimum_cached ~graph metric ~d_factor:d
+                  inst
+              in
               List.map
                 (fun alg ->
                   let alg_rng = Prng.Xoshiro.copy alg_streams.(i) in
@@ -1001,7 +1004,9 @@ let b1 ~seed ~quick =
     in
     let mobile = Network.Embedding.to_mobile_instance ~layout pm_inst in
     let packed_mobile = Instance.pack mobile in
-    let uncapped = Network.Pm_offline.optimum metric ~d_factor:d pm_inst in
+    let uncapped =
+      Network.Pm_offline.optimum_cached ~graph metric ~d_factor:d pm_inst
+    in
     (* Each movement cap is an independent offline solve on the shared
        (immutable, packed-once) embedded instance. *)
     Exec.map_list

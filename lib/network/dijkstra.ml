@@ -1,106 +1,273 @@
-(* Binary min-heap on (distance, node) pairs, array-backed. *)
+(* Binary min-heap, unboxed: distances and node ids live in two
+   parallel flat arrays, so pushes and sifts move scalars instead of
+   allocating (float, int) tuples.  The comparison structure is
+   identical to the historical tuple heap (strict [<] on distances),
+   so pop order — and therefore every relaxation — is unchanged. *)
 module Heap = struct
   type t = {
-    mutable data : (float * int) array;
+    mutable dists : float array;
+    mutable nodes : int array;
     mutable size : int;
   }
 
-  let create capacity = { data = Array.make (Stdlib.max 1 capacity) (0.0, 0); size = 0 }
+  let create capacity =
+    let capacity = Stdlib.max 1 capacity in
+    { dists = Array.make capacity 0.0; nodes = Array.make capacity 0; size = 0 }
 
-  let swap h i j =
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(j);
-    h.data.(j) <- tmp
+  let clear h = h.size <- 0
 
-  let rec sift_up h i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if fst h.data.(i) < fst h.data.(parent) then begin
-        swap h i parent;
-        sift_up h parent
+  (* Hole-based sifts: the moving element is carried in registers and
+     written once at its final slot, halving the stores a swap-based
+     sift would issue.  Every slot a sift touches satisfies
+     [i < size <= Array.length dists], so the unsafe accesses are in
+     bounds; the comparisons are the same strict [<] on the same
+     values, so the final heap shape is unchanged. *)
+  let sift_up h i0 =
+    let dists = h.dists and nodes = h.nodes in
+    let d = Array.unsafe_get dists i0 and v = Array.unsafe_get nodes i0 in
+    let i = ref i0 in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if d < Array.unsafe_get dists parent then begin
+        Array.unsafe_set dists !i (Array.unsafe_get dists parent);
+        Array.unsafe_set nodes !i (Array.unsafe_get nodes parent);
+        i := parent
       end
-    end
+      else continue := false
+    done;
+    Array.unsafe_set dists !i d;
+    Array.unsafe_set nodes !i v
 
-  let rec sift_down h i =
-    let left = (2 * i) + 1 and right = (2 * i) + 2 in
-    let smallest = ref i in
-    if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then
-      smallest := left;
-    if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then
-      smallest := right;
-    if !smallest <> i then begin
-      swap h i !smallest;
-      sift_down h !smallest
-    end
+  let sift_down h i0 =
+    let dists = h.dists and nodes = h.nodes in
+    let size = h.size in
+    let d = Array.unsafe_get dists i0 and v = Array.unsafe_get nodes i0 in
+    let i = ref i0 in
+    let continue = ref true in
+    while !continue do
+      let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+      let smallest = ref !i in
+      let best = ref d in
+      if left < size && Array.unsafe_get dists left < !best then begin
+        smallest := left;
+        best := Array.unsafe_get dists left
+      end;
+      if right < size && Array.unsafe_get dists right < !best then
+        smallest := right;
+      if !smallest <> !i then begin
+        let j = !smallest in
+        Array.unsafe_set dists !i (Array.unsafe_get dists j);
+        Array.unsafe_set nodes !i (Array.unsafe_get nodes j);
+        i := j
+      end
+      else continue := false
+    done;
+    Array.unsafe_set dists !i d;
+    Array.unsafe_set nodes !i v
 
-  let push h entry =
-    if h.size = Array.length h.data then begin
-      let grown = Array.make (2 * h.size) (0.0, 0) in
-      Array.blit h.data 0 grown 0 h.size;
-      h.data <- grown
+  let push h dist node =
+    if h.size = Array.length h.dists then begin
+      let grown_d = Array.make (2 * h.size) 0.0 in
+      let grown_n = Array.make (2 * h.size) 0 in
+      Array.blit h.dists 0 grown_d 0 h.size;
+      Array.blit h.nodes 0 grown_n 0 h.size;
+      h.dists <- grown_d;
+      h.nodes <- grown_n
     end;
-    h.data.(h.size) <- entry;
+    Array.unsafe_set h.dists h.size dist;
+    Array.unsafe_set h.nodes h.size node;
     h.size <- h.size + 1;
     sift_up h (h.size - 1)
 
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.data.(0) in
-      h.size <- h.size - 1;
-      if h.size > 0 then begin
-        h.data.(0) <- h.data.(h.size);
-        sift_down h 0
-      end;
-      Some top
+  (* Callers read [dists.(0)]/[nodes.(0)] then [remove_top]: popping
+     never materializes a pair. *)
+  let remove_top h =
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      Array.unsafe_set h.dists 0 (Array.unsafe_get h.dists h.size);
+      Array.unsafe_set h.nodes 0 (Array.unsafe_get h.nodes h.size);
+      sift_down h 0
     end
 end
+
+(* The per-source core: runs over the graph's CSR rows, reusing the
+   caller's heap and filling the caller's [dist] row — the scratch a
+   multi-source sweep hoists out of its loop. *)
+let run_into g heap dist s =
+  let offsets, targets, lengths = Graph.csr g in
+  Array.fill dist 0 (Array.length dist) infinity;
+  dist.(s) <- 0.0;
+  Heap.clear heap;
+  Heap.push heap 0.0 s;
+  (* Unsafe accesses: [u] and [v] are node ids below [n] (the CSR
+     invariant), [k] ranges inside [offsets.(u) .. offsets.(u+1) - 1]
+     which indexes [targets]/[lengths] by construction, and the heap
+     root exists whenever [size > 0]. *)
+  while heap.Heap.size > 0 do
+    let d = Array.unsafe_get heap.Heap.dists 0
+    and u = Array.unsafe_get heap.Heap.nodes 0 in
+    Heap.remove_top heap;
+    if d <= Array.unsafe_get dist u then begin
+      let stop = Array.unsafe_get offsets (u + 1) - 1 in
+      for k = Array.unsafe_get offsets u to stop do
+        let v = Array.unsafe_get targets k in
+        let nd = d +. Array.unsafe_get lengths k in
+        if nd < Array.unsafe_get dist v then begin
+          Array.unsafe_set dist v nd;
+          Heap.push heap nd v
+        end
+      done
+    end
+  done
 
 let single_source g s =
   let n = Graph.nodes g in
   if s < 0 || s >= n then invalid_arg "Dijkstra.single_source: bad source";
   let dist = Array.make n infinity in
-  dist.(s) <- 0.0;
-  let heap = Heap.create n in
-  Heap.push heap (0.0, s);
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (d, u) ->
-      if d <= dist.(u) then
-        List.iter
-          (fun (v, len) ->
-            let nd = d +. len in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              Heap.push heap (nd, v)
-            end)
-          (Graph.neighbors g u);
-      loop ()
-  in
-  loop ();
+  run_into g (Heap.create n) dist s;
   dist
 
-type metric = { n : int; table : float array array }
+(* A metric is either the densified closure — one flat row-major n²
+   array, row [u] at offset [u·n] — or a lazy row store that runs
+   Dijkstra per requested source and keeps the most recent rows in a
+   mutex-guarded LRU (for graphs too big to densify).  Rows are
+   immutable once computed, so a borrowed row stays valid even after
+   the cache evicts it. *)
+type lazy_rows = {
+  graph : Graph.t;
+  capacity : int;
+  lock : Mutex.t;
+  rows : (int, float array * int ref) Hashtbl.t;
+  clock : int ref;
+}
+
+type metric =
+  | Dense of { n : int; flat : float array }
+  | Lazy of { n : int; state : lazy_rows }
+
+let size = function Dense { n; _ } -> n | Lazy { n; _ } -> n
+
+let check_connected ~who g =
+  if not (Graph.is_connected g) then
+    invalid_arg (Printf.sprintf "Dijkstra.%s: graph is not connected" who)
+
+(* Sources are swept in fixed blocks; each block owns one heap and one
+   row buffer and writes its rows into disjoint slices of [flat], so
+   the result is the same flat array at any jobs count. *)
+let block_size = 16
+
+let dense_of_graph g =
+  let n = Graph.nodes g in
+  let flat = Array.make (n * n) 0.0 in
+  let blocks = (n + block_size - 1) / block_size in
+  let compute_block b =
+    let heap = Heap.create n in
+    let row = Array.make n infinity in
+    let lo = b * block_size in
+    let hi = Stdlib.min n (lo + block_size) - 1 in
+    for s = lo to hi do
+      run_into g heap row s;
+      Array.blit row 0 flat (s * n) n
+    done
+  in
+  ignore (Exec.map compute_block (Array.init blocks Fun.id));
+  Dense { n; flat }
 
 let all_pairs g =
-  if not (Graph.is_connected g) then
-    invalid_arg "Dijkstra.all_pairs: graph is not connected";
-  let n = Graph.nodes g in
-  { n; table = Array.init n (fun s -> single_source g s) }
+  check_connected ~who:"all_pairs" g;
+  dense_of_graph g
+
+let lazy_metric ?(capacity = 64) g =
+  if capacity < 1 then invalid_arg "Dijkstra.lazy_metric: capacity < 1";
+  check_connected ~who:"lazy_metric" g;
+  Lazy
+    {
+      n = Graph.nodes g;
+      state =
+        {
+          graph = g;
+          capacity;
+          lock = Mutex.create ();
+          rows = Hashtbl.create capacity;
+          clock = ref 0;
+        };
+    }
+
+let is_dense = function Dense _ -> true | Lazy _ -> false
+
+let to_dense = function
+  | Dense _ as m -> m
+  | Lazy { state; _ } -> dense_of_graph state.graph
+
+(* Caller holds the lock.  O(capacity) victim scan, paid only on
+   inserts past the limit. *)
+let evict_over_capacity state =
+  while Hashtbl.length state.rows > state.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun s (_, tick) ->
+        match !victim with
+        | Some (_, best) when best <= !tick -> ()
+        | _ -> victim := Some (s, !tick))
+      state.rows;
+    match !victim with
+    | Some (s, _) -> Hashtbl.remove state.rows s
+    | None -> ()
+  done
+
+(* The row is computed under the lock: recomputing on a concurrent
+   miss would yield the identical row (Dijkstra is deterministic), so
+   holding the lock trades a little contention for never wasting a
+   solve. *)
+let lazy_row state s =
+  Mutex.lock state.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock state.lock)
+    (fun () ->
+      incr state.clock;
+      match Hashtbl.find_opt state.rows s with
+      | Some (row, tick) ->
+        tick := !(state.clock);
+        row
+      | None ->
+        let n = Graph.nodes state.graph in
+        let row = Array.make n infinity in
+        run_into state.graph (Heap.create n) row s;
+        Hashtbl.replace state.rows s (row, ref !(state.clock));
+        evict_over_capacity state;
+        row)
+
+let row m u =
+  let n = size m in
+  if u < 0 || u >= n then invalid_arg "Dijkstra.row: node out of range";
+  match m with
+  | Dense { flat; _ } -> (flat, u * n)
+  | Lazy { state; _ } -> (lazy_row state u, 0)
 
 let distance m u v =
-  if u < 0 || u >= m.n || v < 0 || v >= m.n then
+  let n = size m in
+  if u < 0 || u >= n || v < 0 || v >= n then
     invalid_arg "Dijkstra.distance: node out of range";
-  m.table.(u).(v)
+  match m with
+  | Dense { flat; _ } -> flat.((u * n) + v)
+  | Lazy { state; _ } -> (lazy_row state u).(v)
 
-let size m = m.n
+let dense_table = function
+  | Dense { flat; _ } -> flat
+  | Lazy _ -> invalid_arg "Dijkstra.dense_table: metric is lazy"
 
 let diameter m =
+  let n = size m in
   let best = ref 0.0 in
-  Array.iter
-    (Array.iter (fun d -> if d > !best then best := d))
-    m.table;
+  (match m with
+   | Dense { flat; _ } ->
+     Array.iter (fun d -> if d > !best then best := d) flat
+   | Lazy { state; _ } ->
+     for u = 0 to n - 1 do
+       let row = lazy_row state u in
+       Array.iter (fun d -> if d > !best then best := d) row
+     done);
   !best
 
 let nearest m u candidates =

@@ -1,6 +1,17 @@
+(* Canonical representation: compressed sparse rows.  [offsets] has
+   n+1 entries; the neighbours of [u] are
+   [targets.(offsets.(u) .. offsets.(u+1) - 1)] with matching
+   [lengths].  Row order reproduces the historical adjacency-list
+   order (each edge was consed onto both endpoint lists in input
+   order, so a row lists its incident edges last-input-first): the
+   neighbour at slot [k] is exactly what [List.nth (neighbors g u) k]
+   returned before the CSR rewrite, which keeps PRNG-indexed neighbour
+   sampling bit-identical. *)
 type t = {
   n : int;
-  adjacency : (int * float) list array;
+  offsets : int array;
+  targets : int array;
+  lengths : float array;
   edge_list : (int * int * float) list;
 }
 
@@ -8,14 +19,30 @@ let nodes g = g.n
 
 let edges g = g.edge_list
 
+let degree g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph.degree: node out of range";
+  g.offsets.(u + 1) - g.offsets.(u)
+
+let neighbor g u k =
+  if u < 0 || u >= g.n then invalid_arg "Graph.neighbor: node out of range";
+  let base = g.offsets.(u) in
+  if k < 0 || base + k >= g.offsets.(u + 1) then
+    invalid_arg "Graph.neighbor: neighbor index out of range";
+  (g.targets.(base + k), g.lengths.(base + k))
+
 let neighbors g u =
   if u < 0 || u >= g.n then invalid_arg "Graph.neighbors: node out of range";
-  g.adjacency.(u)
+  let base = g.offsets.(u) in
+  List.init
+    (g.offsets.(u + 1) - base)
+    (fun k -> (g.targets.(base + k), g.lengths.(base + k)))
+
+let csr g = (g.offsets, g.targets, g.lengths)
 
 let of_edges ~nodes:n edge_list =
   if n < 1 then invalid_arg "Graph.of_edges: need at least one node";
-  let adjacency = Array.make n [] in
   let seen = Hashtbl.create (List.length edge_list) in
+  let degree = Array.make n 0 in
   let normalized =
     List.map
       (fun (u, v, len) ->
@@ -28,12 +55,32 @@ let of_edges ~nodes:n edge_list =
         if Hashtbl.mem seen (u, v) then
           invalid_arg "Graph.of_edges: duplicate edge";
         Hashtbl.add seen (u, v) ();
-        adjacency.(u) <- (v, len) :: adjacency.(u);
-        adjacency.(v) <- (u, len) :: adjacency.(v);
+        degree.(u) <- degree.(u) + 1;
+        degree.(v) <- degree.(v) + 1;
         (u, v, len))
       edge_list
   in
-  { n; adjacency; edge_list = normalized }
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + degree.(u)
+  done;
+  let m2 = offsets.(n) in
+  let targets = Array.make m2 0 in
+  let lengths = Array.make m2 0.0 in
+  (* Fill each row back to front: consing meant the first edge seen for
+     a node ended up deepest in its list, i.e. at the row's end. *)
+  let cursor = Array.copy offsets in
+  Array.blit offsets 1 cursor 0 n;
+  List.iter
+    (fun (u, v, len) ->
+      cursor.(u) <- cursor.(u) - 1;
+      targets.(cursor.(u)) <- v;
+      lengths.(cursor.(u)) <- len;
+      cursor.(v) <- cursor.(v) - 1;
+      targets.(cursor.(v)) <- u;
+      lengths.(cursor.(v)) <- len)
+    normalized;
+  { n; offsets; targets; lengths; edge_list = normalized }
 
 let is_connected g =
   let visited = Array.make g.n false in
@@ -43,16 +90,28 @@ let is_connected g =
   let count = ref 1 in
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    List.iter
-      (fun (v, _) ->
-        if not visited.(v) then begin
-          visited.(v) <- true;
-          incr count;
-          Queue.add v queue
-        end)
-      g.adjacency.(u)
+    for k = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      let v = g.targets.(k) in
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        incr count;
+        Queue.add v queue
+      end
+    done
   done;
   !count = g.n
+
+let serialize g =
+  let buf = Buffer.create (32 + (List.length g.edge_list * 20)) in
+  Buffer.add_string buf "msp-graph-v1\n";
+  Buffer.add_int64_le buf (Int64.of_int g.n);
+  List.iter
+    (fun (u, v, len) ->
+      Buffer.add_int64_le buf (Int64.of_int u);
+      Buffer.add_int64_le buf (Int64.of_int v);
+      Buffer.add_int64_le buf (Int64.bits_of_float len))
+    g.edge_list;
+  Buffer.contents buf
 
 let path ?(edge_length = 1.0) n =
   if n < 1 then invalid_arg "Graph.path: n < 1";
@@ -129,51 +188,79 @@ let random_geometric ~n ?radius ?(box = 10.0) rng =
     done
   done;
   (* Patch connectivity: repeatedly connect the component of node 0 to
-     its nearest outside point. *)
-  let connected_to_zero () =
-    let visited = Array.make n false in
-    let adj = Array.make n [] in
-    List.iter
-      (fun (u, v, _) ->
-        adj.(u) <- v :: adj.(u);
-        adj.(v) <- u :: adj.(v))
-      !edges;
-    let queue = Queue.create () in
-    Queue.add 0 queue;
-    visited.(0) <- true;
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
+     its nearest outside point.  The visited set and the per-node
+     nearest-inside-point candidates are maintained incrementally (one
+     BFS wave and one candidate sweep per component absorbed), so the
+     whole patch phase is O(n·components) instead of the historical
+     O(n³) re-BFS + full pair scan per added edge.  The chosen pairs
+     are identical: among minimum-distance (inside, outside) pairs the
+     lexicographically smallest wins, exactly like the old u-major
+     scan with strict improvement. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, _) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    !edges;
+  let visited = Array.make n false in
+  let remaining = ref n in
+  (* Distance to — and index of — the nearest visited node, for every
+     node still outside; ties keep the smallest inside index. *)
+  let best_d = Array.make n infinity in
+  let best_u = Array.make n max_int in
+  let absorb start =
+    (* Mark the component of [start] visited and fold its nodes into
+       the outside candidates. *)
+    let wave = Queue.create () in
+    Queue.add start wave;
+    visited.(start) <- true;
+    decr remaining;
+    let joined = ref [ start ] in
+    while not (Queue.is_empty wave) do
+      let u = Queue.pop wave in
       List.iter
         (fun v ->
           if not visited.(v) then begin
             visited.(v) <- true;
-            Queue.add v queue
+            decr remaining;
+            joined := v :: !joined;
+            Queue.add v wave
           end)
         adj.(u)
     done;
-    visited
-  in
-  let continue = ref true in
-  while !continue do
-    let visited = connected_to_zero () in
-    if Array.for_all Fun.id visited then continue := false
-    else begin
-      (* Closest (inside, outside) pair. *)
-      let best = ref None in
-      for u = 0 to n - 1 do
-        if visited.(u) then
+    if !remaining > 0 then
+      List.iter
+        (fun u ->
           for v = 0 to n - 1 do
             if not visited.(v) then begin
               let d = Geometry.Vec.dist layout.(u) layout.(v) in
-              match !best with
-              | Some (_, _, bd) when bd <= d -> ()
-              | Some _ | None -> best := Some (u, v, d)
+              if d < best_d.(v) || (Float.equal d best_d.(v) && u < best_u.(v))
+              then begin
+                best_d.(v) <- d;
+                best_u.(v) <- u
+              end
             end
-          done
-      done;
-      match !best with
-      | Some (u, v, d) -> edges := (u, v, Float.max d 1e-9) :: !edges
-      | None -> continue := false
-    end
+          done)
+        !joined
+  in
+  absorb 0;
+  while !remaining > 0 do
+    let pick = ref (-1) in
+    for v = 0 to n - 1 do
+      if not visited.(v) then
+        match !pick with
+        | -1 -> pick := v
+        | p ->
+          if
+            best_d.(v) < best_d.(p)
+            || (Float.equal best_d.(v) best_d.(p) && best_u.(v) < best_u.(p))
+          then pick := v
+    done;
+    let v = !pick in
+    let u = best_u.(v) in
+    edges := (u, v, Float.max best_d.(v) 1e-9) :: !edges;
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v);
+    absorb v
   done;
   (of_edges ~nodes:n !edges, layout)

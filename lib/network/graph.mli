@@ -6,7 +6,15 @@
     original setting so the two can be compared (see {!Pm_model} and
     {!Embedding}).  Nodes are dense integers [0 .. n-1]; edges carry
     strictly positive lengths; the graph must be connected for the
-    distance metric to be total. *)
+    distance metric to be total.
+
+    Internally a graph is stored in compressed sparse rows (one flat
+    [offsets]/[targets]/[lengths] triple; see docs/network.md), the
+    shape the shortest-path and sampling hot paths consume.  The
+    list-based {!neighbors} is a view built on demand; {!degree} and
+    {!neighbor} index a row in O(1).  Row order is fixed by the edge
+    input order (see docs/network.md), so positional sampling is
+    reproducible across representations. *)
 
 type t
 (** An immutable weighted undirected graph. *)
@@ -23,11 +31,34 @@ val nodes : t -> int
 val edges : t -> (int * int * float) list
 (** The edge list, each edge once with [u < v]. *)
 
+val degree : t -> int -> int
+(** [degree g u] is the number of neighbours of [u], in O(1). *)
+
+val neighbor : t -> int -> int -> int * float
+(** [neighbor g u k] is the [k]-th neighbour of [u] (0-based row
+    position) with its edge length, in O(1).  Equals
+    [List.nth (neighbors g u) k].  Raises [Invalid_argument] if [u] or
+    [k] is out of range. *)
+
 val neighbors : t -> int -> (int * float) list
-(** [neighbors g u] is the adjacency list of [u]. *)
+(** [neighbors g u] is the adjacency list of [u] — a fresh list built
+    from the CSR row on every call; hot paths should use {!degree},
+    {!neighbor} or {!csr} instead. *)
+
+val csr : t -> int array * int array * float array
+(** [csr g] is the raw [(offsets, targets, lengths)] triple.  The
+    arrays are {e borrowed}: they belong to the graph, must not be
+    mutated, and stay valid for the graph's lifetime (see the row
+    ownership rules in docs/network.md).  [offsets] has [nodes g + 1]
+    entries; row [u] spans [offsets.(u) .. offsets.(u+1) - 1]. *)
 
 val is_connected : t -> bool
 (** Breadth-first reachability from node 0. *)
+
+val serialize : t -> string
+(** A canonical byte string covering the node count and every edge's
+    endpoints and IEEE-754 length bits, suitable for content-addressed
+    caching ({!Offline.Opt_cache}): equal graphs serialize equally. *)
 
 (** {1 Generators}
 

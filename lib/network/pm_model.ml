@@ -47,10 +47,12 @@ let run ?rng metric ~d_factor (alg : algorithm) inst =
       let target = stepper requests in
       if target < 0 || target >= n then
         invalid_arg (alg.name ^ ": migrated out of the graph");
-      move := !move +. (d_factor *. Dijkstra.distance metric !page target);
+      let from_row, from_base = Dijkstra.row metric !page in
+      move := !move +. (d_factor *. from_row.(from_base + target));
       page := target;
+      let row, base = Dijkstra.row metric target in
       Array.iter
-        (fun v -> service := !service +. Dijkstra.distance metric !page v)
+        (fun v -> service := !service +. row.(base + v))
         requests;
       positions.(t) <- target)
     inst.rounds;
@@ -69,10 +71,12 @@ let replay metric ~d_factor ~start positions inst =
   let page = ref start in
   Array.iteri
     (fun t target ->
-      move := !move +. (d_factor *. Dijkstra.distance metric !page target);
+      let from_row, from_base = Dijkstra.row metric !page in
+      move := !move +. (d_factor *. from_row.(from_base + target));
       page := target;
+      let row, base = Dijkstra.row metric target in
       Array.iter
-        (fun v -> service := !service +. Dijkstra.distance metric !page v)
+        (fun v -> service := !service +. row.(base + v))
         inst.rounds.(t))
     positions;
   !move +. !service
@@ -96,10 +100,14 @@ let localized_requests g ~t ?(locality = 0.8) ?(switch_prob = 0.05) rng =
          let request =
            if Prng.Dist.bernoulli rng ~p:locality then !hot
            else
-             match Graph.neighbors g !hot with
-             | [] -> !hot
-             | neighbors ->
-               let k = Prng.Xoshiro.next_below rng (List.length neighbors) in
-               fst (List.nth neighbors k)
+             (* O(1) CSR row indexing; the sampled slot [k] addresses
+                the same neighbour the historical [List.nth] over the
+                adjacency list returned, so trajectories are
+                bit-identical. *)
+             match Graph.degree g !hot with
+             | 0 -> !hot
+             | deg ->
+               let k = Prng.Xoshiro.next_below rng deg in
+               fst (Graph.neighbor g !hot k)
          in
          [| request |]))

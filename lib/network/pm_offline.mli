@@ -6,7 +6,14 @@
     [V_t(x) = Σ_req d(x, req_t) + min_y ( V_(t-1)(y) + D·d(y, x) )]
 
     costs [O(T·n²)] — exact, no discretization.  This is the ground
-    truth for experiment B1's empirical competitive ratios. *)
+    truth for experiment B1's empirical competitive ratios.
+
+    The DP runs on the metric's flat dense table (a lazy metric is
+    densified first): per-round service vectors are computed once, row
+    bases are hoisted, and destination columns are minimized in
+    parallel node blocks over the {!Exec} pool — bit-identical at any
+    jobs count, and bit-identical to the historical per-pair
+    implementation (see `bench network`). *)
 
 type solution = {
   cost : float;
@@ -21,3 +28,15 @@ val solve :
 val optimum :
   Dijkstra.metric -> d_factor:float -> Pm_model.instance -> float
 (** The cost field of {!solve}. *)
+
+val optimum_cached :
+  graph:Graph.t -> Dijkstra.metric -> d_factor:float ->
+  Pm_model.instance -> float
+(** {!optimum} memoized through {!Offline.Opt_cache} under solver id
+    ["pm-dp:v1"], keyed by the graph's {!Graph.serialize} bytes, the
+    IEEE bits of [d_factor], and the instance (start node + request
+    rounds) — everything the DP observes, so a hit returns exactly the
+    float the solve would have produced.  [graph] must be the graph
+    [metric] was built from.  Ratio sweeps that regenerate the same
+    (graph, instance, D) cells hit the warm cache across replicates,
+    reruns and jobs counts. *)

@@ -107,10 +107,11 @@ let evict_over_capacity () =
     | None -> ()
   done
 
-let find_or_compute ~solver config packed compute =
-  if not (with_lock (fun () -> !enabled)) then compute ()
-  else begin
-    let digest = key ~solver config packed in
+(* Lookup core shared by every entry point: memory, then disk, then
+   compute.  [digest] must be a pure function of everything the
+   computation can observe. *)
+let lookup digest compute =
+  begin
     let mem =
       with_lock (fun () ->
           match Hashtbl.find_opt table digest with
@@ -142,6 +143,25 @@ let find_or_compute ~solver config packed compute =
              evict_over_capacity ());
          (match d with None -> () | Some d -> disk_write d digest v);
          v)
+  end
+
+let find_or_compute ~solver config packed compute =
+  if not (with_lock (fun () -> !enabled)) then compute ()
+  else lookup (key ~solver config packed) compute
+
+(* Arbitrary-key entry for optima that are not Euclidean instances
+   (graph Page Migration keys itself by graph bytes + instance).  The
+   format tag keeps keyed digests disjoint from the config-keyed
+   ones. *)
+let find_or_compute_keyed ~solver ~key:bytes compute =
+  if not (with_lock (fun () -> !enabled)) then compute ()
+  else begin
+    let buf = Buffer.create (64 + String.length solver + String.length bytes) in
+    Buffer.add_string buf "msp-opt-cache-keyed-v1\n";
+    Buffer.add_string buf solver;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf bytes;
+    lookup (Digest.to_hex (Digest.string (Buffer.contents buf))) compute
   end
 
 (* --- solver entry points --------------------------------------------- *)

@@ -48,6 +48,17 @@ val find_or_compute :
     cache lock, so concurrent domains may duplicate a solve for the same
     key; values are pure functions of the key, so this is harmless. *)
 
+val find_or_compute_keyed :
+  solver:string -> key:string -> (unit -> float) -> float
+(** [find_or_compute_keyed ~solver ~key compute] memoizes an optimum
+    whose inputs are not a Euclidean instance: [key] must be a
+    canonical byte string covering every bit the computation can
+    observe (the graph Page Migration solver keys itself by
+    [Graph.serialize] bytes, the model's [D] and the instance; see
+    {!Network.Pm_offline}).  Shares the LRU, the disk store and the
+    statistics with the config-keyed entries; digests never collide
+    across the two keying schemes. *)
+
 val set_enabled : bool -> unit
 (** Turn the cache off (every call computes) or back on.  On by
     default. *)

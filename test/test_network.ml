@@ -58,6 +58,22 @@ let geometric_layout_matches () =
         len)
     (G.edges g)
 
+let graph_csr_accessors () =
+  let g = fst (G.random_geometric ~n:20 (rng_of 19)) in
+  for u = 0 to G.nodes g - 1 do
+    let lst = G.neighbors g u in
+    Alcotest.(check int) "degree" (List.length lst) (G.degree g u);
+    List.iteri
+      (fun k (v, len) ->
+        let v', len' = G.neighbor g u k in
+        Alcotest.(check int) "target" v v';
+        check_float "length" len len')
+      lst
+  done;
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Graph.neighbor: neighbor index out of range") (fun () ->
+      ignore (G.neighbor g 0 (G.degree g 0)))
+
 (* --- Dijkstra --------------------------------------------------------- *)
 
 let dijkstra_path_graph () =
@@ -99,6 +115,31 @@ let dijkstra_rejects_disconnected () =
 let dijkstra_nearest () =
   let metric = Dij.all_pairs (G.path 6) in
   Alcotest.(check int) "nearest" 3 (Dij.nearest metric 2 [ 5; 3; 0 ])
+
+let bit_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let dijkstra_lazy_matches_dense () =
+  let g = fst (G.random_geometric ~n:30 (rng_of 18)) in
+  let dense = Dij.all_pairs g in
+  (* Capacity far below n forces evictions mid-sweep. *)
+  let lazy_m = Dij.lazy_metric ~capacity:4 g in
+  let n = Dij.size dense in
+  for u = 0 to n - 1 do
+    let row, base = Dij.row dense u in
+    let lrow, lbase = Dij.row lazy_m u in
+    for v = 0 to n - 1 do
+      if not (bit_eq row.(base + v) lrow.(lbase + v)) then
+        Alcotest.failf "lazy row %d differs from dense at %d" u v
+    done
+  done;
+  (* Row 0 was evicted long ago; recomputation is still bit-identical,
+     and a previously borrowed row survives the eviction untouched. *)
+  let early, early_base = Dij.row lazy_m 0 in
+  let dense0, dense0_base = Dij.row dense 0 in
+  for v = 0 to n - 1 do
+    if not (bit_eq early.(early_base + v) dense0.(dense0_base + v)) then
+      Alcotest.failf "recomputed lazy row 0 differs at %d" v
+  done
 
 (* --- Page Migration model --------------------------------------------- *)
 
@@ -170,6 +211,48 @@ let pm_workloads_deterministic () =
   let b = PM.localized_requests g ~t:50 (rng_of 12) in
   Alcotest.(check bool) "same rounds" true (a.PM.rounds = b.PM.rounds)
 
+let pm_offline_matches_brute_force () =
+  (* Tiny instances (n ≤ 4, T ≤ 4): the DP must price exactly like the
+     best of all n^T trajectories replayed through the cost model. *)
+  List.iter
+    (fun (seed, d) ->
+      let g = fst (G.random_geometric ~n:4 (rng_of seed)) in
+      let metric = Dij.all_pairs g in
+      let t = 4 in
+      let inst = PM.uniform_requests g ~t (rng_of (seed + 100)) in
+      let sol = Network.Pm_offline.solve metric ~d_factor:d inst in
+      let n = G.nodes g in
+      let best = ref infinity in
+      let positions = Array.make t 0 in
+      let rec go i =
+        if i = t then begin
+          let c =
+            PM.replay metric ~d_factor:d ~start:inst.PM.start positions inst
+          in
+          if c < !best then best := c
+        end
+        else
+          for v = 0 to n - 1 do
+            positions.(i) <- v;
+            go (i + 1)
+          done
+      in
+      go 0;
+      check_float "DP = brute force" !best sol.Network.Pm_offline.cost)
+    [ (20, 1.0); (21, 2.5); (22, 4.0) ]
+
+let pm_optimum_cached_matches_solve () =
+  let g = fst (G.random_geometric ~n:12 (rng_of 23)) in
+  let metric = Dij.all_pairs g in
+  let inst = PM.localized_requests g ~t:40 (rng_of 24) in
+  let sol = Network.Pm_offline.solve metric ~d_factor:3.0 inst in
+  let cached =
+    Network.Pm_offline.optimum_cached ~graph:g metric ~d_factor:3.0 inst
+  in
+  if not (bit_eq sol.Network.Pm_offline.cost cached) then
+    Alcotest.failf "cached optimum %g differs from solve %g" cached
+      sol.Network.Pm_offline.cost
+
 (* --- Embedding -------------------------------------------------------- *)
 
 let embedding_round_trip () =
@@ -237,6 +320,77 @@ let qcheck_dijkstra_vs_bfs_on_uniform =
       done;
       !ok)
 
+let qcheck_dijkstra_vs_floyd_warshall =
+  QCheck.Test.make ~count:25 ~name:"dijkstra = floyd-warshall on random graphs"
+    QCheck.(pair (int_range 3 14) (int_range 0 999))
+    (fun (n, seed) ->
+      let g = fst (G.random_geometric ~n (rng_of (1000 + seed))) in
+      let metric = Dij.all_pairs g in
+      let fw = Array.make_matrix n n infinity in
+      for i = 0 to n - 1 do
+        fw.(i).(i) <- 0.0
+      done;
+      List.iter
+        (fun (u, v, len) ->
+          if len < fw.(u).(v) then begin
+            fw.(u).(v) <- len;
+            fw.(v).(u) <- len
+          end)
+        (G.edges g);
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let via = fw.(i).(k) +. fw.(k).(j) in
+            if via < fw.(i).(j) then fw.(i).(j) <- via
+          done
+        done
+      done;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Float.abs (Dij.distance metric u v -. fw.(u).(v)) > 1e-9 then
+            ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_metric_symmetry_and_triangle =
+  QCheck.Test.make ~count:25 ~name:"metric is symmetric and triangular"
+    QCheck.(pair (int_range 4 16) (int_range 0 999))
+    (fun (n, seed) ->
+      let g = fst (G.random_geometric ~n (rng_of (2000 + seed))) in
+      let metric = Dij.all_pairs g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Float.abs (Dij.distance metric u v -. Dij.distance metric v u)
+             > 1e-9
+          then ok := false;
+          for w = 0 to n - 1 do
+            if Dij.distance metric u w
+               > Dij.distance metric u v +. Dij.distance metric v w +. 1e-9
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let qcheck_lazy_equals_dense =
+  QCheck.Test.make ~count:15 ~name:"lazy metric = dense metric, bitwise"
+    QCheck.(pair (int_range 4 20) (int_range 0 999))
+    (fun (n, seed) ->
+      let g = fst (G.random_geometric ~n (rng_of (3000 + seed))) in
+      let dense = Dij.all_pairs g in
+      let lazy_m = Dij.lazy_metric ~capacity:3 g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if not (bit_eq (Dij.distance dense u v) (Dij.distance lazy_m u v))
+          then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "network"
     [
@@ -247,6 +401,7 @@ let () =
           Alcotest.test_case "generators connected" `Quick
             graph_generators_connected;
           Alcotest.test_case "geometric layout" `Quick geometric_layout_matches;
+          Alcotest.test_case "csr accessors" `Quick graph_csr_accessors;
         ] );
       ( "dijkstra",
         [
@@ -257,6 +412,8 @@ let () =
           Alcotest.test_case "rejects disconnected" `Quick
             dijkstra_rejects_disconnected;
           Alcotest.test_case "nearest" `Quick dijkstra_nearest;
+          Alcotest.test_case "lazy matches dense" `Quick
+            dijkstra_lazy_matches_dense;
         ] );
       ( "page-migration",
         [
@@ -268,6 +425,10 @@ let () =
           Alcotest.test_case "instance validates" `Quick pm_instance_validates;
           Alcotest.test_case "workloads deterministic" `Quick
             pm_workloads_deterministic;
+          Alcotest.test_case "offline matches brute force" `Quick
+            pm_offline_matches_brute_force;
+          Alcotest.test_case "cached optimum matches solve" `Quick
+            pm_optimum_cached_matches_solve;
         ] );
       ( "embedding",
         [
@@ -278,5 +439,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_dijkstra_vs_bfs_on_uniform ] );
+          [
+            qcheck_dijkstra_vs_bfs_on_uniform;
+            qcheck_dijkstra_vs_floyd_warshall;
+            qcheck_metric_symmetry_and_triangle;
+            qcheck_lazy_equals_dense;
+          ] );
     ]
