@@ -4,6 +4,7 @@ let classify path =
   let segs = path_segments path in
   if List.mem "lib" segs then
     if List.mem "prng" segs then Lint_rules.Prng_library else Lint_rules.Library
+  else if List.mem "tools" segs then Lint_rules.Tool
   else Lint_rules.Driver
 
 let skipped_dir = function
@@ -87,20 +88,50 @@ let rendered_error path exn =
   | Some `Already_displayed | None ->
     Printf.sprintf "%s: %s" path (Printexc.to_string exn)
 
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+let parse_source path =
+  if Filename.check_suffix path ".mli" then
+    Signature (Pparse.parse_interface ~tool_name:"msp_lint" path)
+  else Structure (Pparse.parse_implementation ~tool_name:"msp_lint" path)
+
+let module_name_of path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let check_parsed ~kind ~registry ~exports path = function
+  | Signature sg -> Lint_rules.check_signature ~kind ~file:path sg
+  | Structure str ->
+    Lint_rules.check_structure ~kind ~file:path str
+    @ Lint_passes.check_structure ~file:path ~registry ~exports str
+
+let apply_suppressions path findings =
+  let lines = read_lines path in
+  List.filter (fun f -> not (suppressed lines f)) findings
+
 let lint_file ?kind path =
   let kind = match kind with Some k -> k | None -> classify path in
   let check () =
-    if Filename.check_suffix path ".mli" then
-      Lint_rules.check_signature ~kind ~file:path
-        (Pparse.parse_interface ~tool_name:"msp_lint" path)
-    else
-      Lint_rules.check_structure ~kind ~file:path
-        (Pparse.parse_implementation ~tool_name:"msp_lint" path)
+    let ast = parse_source path in
+    (* Single-file mode still honours a sibling .mli: its [@@borrow]
+       vals feed the registry and its exports drive return-escape. *)
+    let registry = Lint_passes.create_registry () in
+    let exports =
+      let mli = path ^ "i" in
+      if Filename.check_suffix path ".ml" && Sys.file_exists mli then
+        match parse_source mli with
+        | Signature sg ->
+          Lint_passes.scan_signature registry
+            ~module_name:(module_name_of mli) sg;
+          Some (Lint_passes.exports_of_signature sg)
+        | Structure _ -> None
+      else None
+    in
+    check_parsed ~kind ~registry ~exports path ast
   in
   match check () with
-  | findings ->
-    let lines = read_lines path in
-    Ok (List.filter (fun f -> not (suppressed lines f)) findings)
+  | findings -> Ok (apply_suppressions path findings)
   | exception exn -> Error (rendered_error path exn)
 
 (* --- missing-mli ------------------------------------------------------ *)
@@ -121,6 +152,7 @@ let missing_mli files =
             line = 1;
             col = 0;
             rule = "missing-mli";
+            severity = Lint_rules.rule_severity "missing-mli";
             message =
               "library module has no interface; add "
               ^ Filename.basename path ^ "i";
@@ -134,15 +166,45 @@ let missing_mli files =
 
 (* --- Whole-tree entry point ------------------------------------------ *)
 
+(* Multi-pass: parse every file once, build the borrow registry from
+   all interfaces, then check each AST against the full registry (so a
+   [@@borrow] in lib/network/graph.mli constrains a caller in
+   lib/offline).  Files that fail to parse surface as errors and are
+   skipped by the later passes. *)
 let lint_tree roots =
   let files = walk roots in
+  let parsed =
+    List.map
+      (fun path ->
+        match parse_source path with
+        | ast -> (path, Ok ast)
+        | exception exn -> (path, Error (rendered_error path exn)))
+      files
+  in
+  let registry = Lint_passes.create_registry () in
+  let exports_by_mli = Hashtbl.create 64 in
+  List.iter
+    (fun (path, ast) ->
+      match ast with
+      | Ok (Signature sg) ->
+        Lint_passes.scan_signature registry ~module_name:(module_name_of path)
+          sg;
+        Hashtbl.replace exports_by_mli path
+          (Lint_passes.exports_of_signature sg)
+      | _ -> ())
+    parsed;
   let findings, errors =
     List.fold_left
-      (fun (fs, es) path ->
-        match lint_file path with
-        | Ok f -> (f :: fs, es)
-        | Error e -> (fs, e :: es))
-      ([], []) files
+      (fun (fs, es) (path, ast) ->
+        match ast with
+        | Error e -> (fs, e :: es)
+        | Ok ast ->
+          let exports = Hashtbl.find_opt exports_by_mli (path ^ "i") in
+          let found =
+            check_parsed ~kind:(classify path) ~registry ~exports path ast
+          in
+          (apply_suppressions path found :: fs, es))
+      ([], []) parsed
   in
   let all = List.concat (List.rev findings) @ missing_mli files in
   let sorted =

@@ -2,9 +2,11 @@
 
     The driver walks source trees, classifies each file by its path
     ([lib/] is {!Lint_rules.Library}, [lib/prng] is
-    {!Lint_rules.Prng_library}, everything else {!Lint_rules.Driver}),
-    parses with compiler-libs ({!Pparse}) and filters findings through
-    per-line [(* msp-lint: allow RULE *)] suppressions. *)
+    {!Lint_rules.Prng_library}, [tools/] is {!Lint_rules.Tool},
+    everything else {!Lint_rules.Driver}), parses with compiler-libs
+    ({!Pparse}), runs the per-file rules plus the {!Lint_passes}
+    whole-tree passes, and filters findings through per-line
+    [(* msp-lint: allow RULE *)] suppressions. *)
 
 val classify : string -> Lint_rules.file_kind
 (** Classification by path segments. *)
@@ -17,9 +19,11 @@ val lint_file :
   ?kind:Lint_rules.file_kind -> string ->
   (Lint_rules.finding list, string) result
 (** Parse and check one file; [kind] defaults to [classify path].
-    [Error] carries a rendered parse-error message.  Findings whose line
-    (or the line directly above) contains
-    [msp-lint: allow <rule ...>] — or [allow all] — are dropped. *)
+    A sibling [.mli] (when present) is parsed too, feeding the borrow
+    registry and export list for the {!Lint_passes} checks.  [Error]
+    carries a rendered parse-error message.  Findings whose line (or
+    the line directly above) contains [msp-lint: allow <rule ...>] —
+    or [allow all] — are dropped. *)
 
 val missing_mli : string list -> Lint_rules.finding list
 (** Given a walked file list, one [missing-mli] finding per [.ml] under

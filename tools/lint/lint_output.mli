@@ -1,0 +1,17 @@
+(** Machine-readable report emitters (hand-rolled, no JSON dependency).
+    The schemas are documented in docs/analysis.md. *)
+
+val json :
+  findings:Lint_rules.finding list ->
+  errors:string list ->
+  files_checked:int ->
+  string
+(** One JSON object: tool, schema_version, files_checked, findings
+    (file/line/col/rule/severity/message) and parse errors.
+    Newline-terminated. *)
+
+val sarif :
+  findings:Lint_rules.finding list -> errors:string list -> string
+(** A SARIF 2.1.0 log with one run: every rule (with severity as its
+    default level), one result per finding, and parse errors as tool
+    execution notifications.  Newline-terminated. *)

@@ -1,27 +1,38 @@
 (* msp_lint — source-level lint for the Mobile Server Problem repo.
 
    Parses every .ml/.mli under the given roots (default: lib bin bench
-   examples) with compiler-libs and enforces the repo rules described in
-   docs/analysis.md.  Findings print as
+   examples tools) with compiler-libs and enforces the repo rules
+   described in docs/analysis.md: the per-file syntactic rules plus the
+   whole-tree guarded-by / borrow-escape passes.  Findings print as
 
      file:line:col: [rule-id] message
+
+   or as JSON with --format json; --sarif FILE additionally writes a
+   SARIF 2.1.0 report (always, even when exiting non-zero, so CI can
+   upload it unconditionally).
 
    Exit codes: 0 clean, 1 findings, 2 usage/parse errors. *)
 
 module Lint_rules = Msp_lint_core.Lint_rules
 module Lint_driver = Msp_lint_core.Lint_driver
+module Lint_output = Msp_lint_core.Lint_output
 
-let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+let default_roots = [ "lib"; "bin"; "bench"; "examples"; "tools" ]
 
 let print_rules () =
   List.iter
-    (fun (r : Lint_rules.rule) -> Printf.printf "%-20s %s\n" r.id r.summary)
+    (fun (r : Lint_rules.rule) ->
+      Printf.printf "%-26s %-7s %s\n" r.id
+        (Lint_rules.severity_name r.severity)
+        r.summary)
     Lint_rules.rules
 
 let explain id =
   match Lint_rules.find_rule id with
   | Some r ->
-    Printf.printf "%s — %s\n\n%s\n" r.id r.summary r.explain;
+    Printf.printf "%s — %s (%s)\n\n%s\n" r.id r.summary
+      (Lint_rules.severity_name r.severity)
+      r.explain;
     0
   | None ->
     Printf.eprintf
@@ -33,6 +44,8 @@ let () =
   let explain_rule = ref None in
   let list_rules = ref false in
   let quiet = ref false in
+  let format = ref "text" in
+  let sarif_file = ref None in
   let spec =
     [
       ( "--explain",
@@ -40,6 +53,12 @@ let () =
         "RULE  Describe a rule and its rationale" );
       ("--rules", Arg.Set list_rules, " List every rule id");
       ("--quiet", Arg.Set quiet, " Suppress the summary line");
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun f -> format := f),
+        "  Output format (default text)" );
+      ( "--sarif",
+        Arg.String (fun f -> sarif_file := Some f),
+        "FILE  Also write a SARIF 2.1.0 report to FILE" );
     ]
   in
   let usage = "msp_lint [options] [PATH...]\n\nOptions:" in
@@ -67,17 +86,31 @@ let () =
         rs
     in
     let findings, errors = Lint_driver.lint_tree roots in
-    List.iter
-      (fun (f : Lint_rules.finding) ->
-        Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule
-          f.message)
-      findings;
-    List.iter (fun e -> Printf.eprintf "%s\n" e) errors;
-    (if not !quiet then
-       let files = List.length (Lint_driver.walk roots) in
-       Printf.eprintf "msp_lint: %d file%s checked, %d finding%s\n" files
-         (if files = 1 then "" else "s")
-         (List.length findings)
-         (if List.length findings = 1 then "" else "s"));
+    let files_checked = List.length (Lint_driver.walk roots) in
+    (* The SARIF report is written before any exit so a failing lint
+       still leaves an artifact for CI to upload. *)
+    (match !sarif_file with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Lint_output.sarif ~findings ~errors))
+    | None -> ());
+    (match !format with
+    | "json" ->
+      print_string (Lint_output.json ~findings ~errors ~files_checked)
+    | _ ->
+      List.iter
+        (fun (f : Lint_rules.finding) ->
+          Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule
+            f.message)
+        findings;
+      List.iter (fun e -> Printf.eprintf "%s\n" e) errors;
+      if not !quiet then
+        Printf.eprintf "msp_lint: %d file%s checked, %d finding%s\n"
+          files_checked
+          (if files_checked = 1 then "" else "s")
+          (List.length findings)
+          (if List.length findings = 1 then "" else "s"));
     if errors <> [] then exit 2;
     if findings <> [] then exit 1
