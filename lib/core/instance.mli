@@ -37,10 +37,12 @@ module Packed : sig
   (** Requests over all rounds = [round_start t (length t)]. *)
 
   val start : t -> Geometry.Vec.t
+  [@@borrow]
   (** The start position — a borrow of the internal vector; treat as
       read-only. *)
 
   val points : t -> Geometry.Points.t
+  [@@borrow]
   (** All requests, rounds concatenated in order — a borrow; treat as
       read-only. *)
 

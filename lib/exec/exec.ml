@@ -14,10 +14,13 @@ module Pool = struct
   type t = {
     lock : Mutex.t;
     not_empty : Condition.t;
-    queue : task Queue.t;
+    queue : task Queue.t; [@guarded_by lock]
     capacity : int;
-    mutable stopping : bool;
+    mutable stopping : bool; [@guarded_by lock]
     mutable workers : unit Domain.t array;
+        [@unguarded
+          "written only by the creating domain (create) and the single \
+           shutdown caller, after every worker has been joined"]
     size : int;
   }
 
@@ -165,8 +168,8 @@ let jobs () =
    its own mutex; the workers are joined through at_exit so the process
    never exits with domains still parked on the queue condition. *)
 let pool_lock = Mutex.create ()
-let shared_pool : Pool.t option ref = ref None
-let exit_hook_installed = ref false
+let shared_pool : Pool.t option ref = ref None [@@guarded_by pool_lock]
+let exit_hook_installed = ref false [@@guarded_by pool_lock]
 
 let shutdown_shared () =
   Mutex.lock pool_lock;

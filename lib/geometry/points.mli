@@ -30,6 +30,7 @@ val count : t -> int
 (** Number of points. *)
 
 val raw : t -> float array
+[@@borrow]
 (** The backing buffer, of length [count · dim] — a {e borrow}, not a
     copy.  Callers may read it directly (the 1-D solvers do) but must
     never mutate it: the buffer is shared with every other accessor. *)

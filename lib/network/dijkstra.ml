@@ -138,8 +138,8 @@ type lazy_rows = {
   graph : Graph.t;
   capacity : int;
   lock : Mutex.t;
-  rows : (int, float array * int ref) Hashtbl.t;
-  clock : int ref;
+  rows : (int, float array * int ref) Hashtbl.t; [@guarded_by lock]
+  clock : int ref; [@guarded_by lock]
 }
 
 type metric =
@@ -215,6 +215,7 @@ let evict_over_capacity state =
     | Some (s, _) -> Hashtbl.remove state.rows s
     | None -> ()
   done
+[@@requires_lock lock]
 
 (* The row is computed under the lock: recomputing on a concurrent
    miss would yield the identical row (Dijkstra is deterministic), so

@@ -48,6 +48,7 @@ val distance : metric -> int -> int -> float
 (** [distance m u v] is the shortest-path distance. *)
 
 val row : metric -> int -> float array * int
+[@@borrow]
 (** [row m u] is [(arr, base)] with [arr.(base + v) = distance m u v]:
     a zero-copy view of row [u] (the flat table itself for a dense
     metric, the cached row for a lazy one).  Borrowed and read-only;
@@ -55,6 +56,7 @@ val row : metric -> int -> float array * int
     calling {!distance} per pair. *)
 
 val dense_table : metric -> float array
+[@@borrow]
 (** The flat row-major [n²] table of a dense metric ([u·n + v] is
     [distance m u v]).  Borrowed and read-only.  Raises
     [Invalid_argument] on a lazy metric — call {!to_dense} first. *)

@@ -46,6 +46,7 @@ val neighbors : t -> int -> (int * float) list
     {!neighbor} or {!csr} instead. *)
 
 val csr : t -> int array * int array * float array
+[@@borrow]
 (** [csr g] is the raw [(offsets, targets, lengths)] triple.  The
     arrays are {e borrowed}: they belong to the graph, must not be
     mutated, and stay valid for the graph's lifetime (see the row

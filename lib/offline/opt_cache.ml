@@ -13,17 +13,20 @@ let lock = Mutex.create ()
 let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+[@@lock_wrapper lock]
 
 (* digest -> (optimum cost, last-use tick) *)
 let table : (string, float * int) Hashtbl.t = Hashtbl.create 512
-let clock = ref 0
-let capacity = ref 512
-let enabled = ref true
-let dir = ref (Sys.getenv_opt "MSP_OPT_CACHE_DIR")
-let hits = ref 0
-let misses = ref 0
-let disk_hits = ref 0
-let evictions = ref 0
+[@@guarded_by lock]
+
+let clock = ref 0 [@@guarded_by lock]
+let capacity = ref 512 [@@guarded_by lock]
+let enabled = ref true [@@guarded_by lock]
+let dir = ref (Sys.getenv_opt "MSP_OPT_CACHE_DIR") [@@guarded_by lock]
+let hits = ref 0 [@@guarded_by lock]
+let misses = ref 0 [@@guarded_by lock]
+let disk_hits = ref 0 [@@guarded_by lock]
+let evictions = ref 0 [@@guarded_by lock]
 
 (* The key covers exactly what an offline solve can observe: the solver
    id with its resolution knobs, the model parameters D and the offline
@@ -106,6 +109,7 @@ let evict_over_capacity () =
       incr evictions
     | None -> ()
   done
+[@@requires_lock lock]
 
 (* Lookup core shared by every entry point: memory, then disk, then
    compute.  [digest] must be a pure function of everything the
