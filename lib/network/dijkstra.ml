@@ -201,17 +201,21 @@ let to_dense = function
   | Lazy { state; _ } -> dense_of_graph state.graph
 
 (* Caller holds the lock.  O(capacity) victim scan, paid only on
-   inserts past the limit. *)
+   inserts past the limit.  The fold is order-independent: ticks are
+   unique (the clock only advances under the lock), so
+   min-by-(tick, source) has one fixed point in any iteration order. *)
 let evict_over_capacity state =
   while Hashtbl.length state.rows > state.capacity do
-    let victim = ref None in
-    Hashtbl.iter
-      (fun s (_, tick) ->
-        match !victim with
-        | Some (_, best) when best <= !tick -> ()
-        | _ -> victim := Some (s, !tick))
-      state.rows;
-    match !victim with
+    let victim =
+      (* msp-lint: allow determinism-hashtbl-order — commutative min *)
+      Hashtbl.fold
+        (fun s (_, tick) best ->
+          match best with
+          | Some (bs, bt) when bt < !tick || (bt = !tick && bs <= s) -> best
+          | _ -> Some (s, !tick))
+        state.rows None
+    in
+    match victim with
     | Some (s, _) -> Hashtbl.remove state.rows s
     | None -> ()
   done

@@ -93,17 +93,22 @@ let disk_write d digest value =
 (* --- in-memory LRU --------------------------------------------------- *)
 
 (* Caller holds the lock.  O(n) victim scan, acceptable at the default
-   capacity and paid only on inserts past the limit. *)
+   capacity and paid only on inserts past the limit.  The fold is
+   order-independent: ticks are unique (the clock only advances under
+   the lock), so min-by-(tick, key) has exactly one fixed point
+   whatever order the table yields entries in. *)
 let evict_over_capacity () =
   while Hashtbl.length table > !capacity do
-    let victim = ref None in
-    Hashtbl.iter
-      (fun k (_, tick) ->
-        match !victim with
-        | Some (_, best) when best <= tick -> ()
-        | _ -> victim := Some (k, tick))
-      table;
-    match !victim with
+    let victim =
+      (* msp-lint: allow determinism-hashtbl-order — commutative min *)
+      Hashtbl.fold
+        (fun k (_, tick) best ->
+          match best with
+          | Some (bk, bt) when bt < tick || (bt = tick && bk <= k) -> best
+          | _ -> Some (k, tick))
+        table None
+    in
+    match victim with
     | Some (k, _) ->
       Hashtbl.remove table k;
       incr evictions
