@@ -1,0 +1,14 @@
+(* Seeded-bad fixture for the borrow-escape pass: borrows escaping
+   into mutable storage.  Two findings (a ref and a mutable field). *)
+
+type t = { data : float array }
+
+let view t = t.data [@@borrow]
+
+type holder = { mutable stash : float array }
+
+let keep = ref [||]
+
+let stash_in_ref t = keep := view t
+
+let stash_in_field h t = h.stash <- view t

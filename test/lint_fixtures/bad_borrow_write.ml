@@ -1,0 +1,16 @@
+(* Seeded-bad fixture for the borrow-escape pass: writes through
+   borrowed views.  Four findings (Array.set, Array.fill, Array.blit
+   into a borrow, Bytes.set). *)
+
+type t = { data : float array; tag : Bytes.t }
+
+let view t = t.data [@@borrow]
+let tag_view t = t.tag [@@borrow]
+
+let smash t =
+  let v = view t in
+  Array.set v 0 1.0;
+  Array.fill v 0 1 2.0;
+  Array.blit [| 3.0 |] 0 v 0 1;
+  let b = tag_view t in
+  Bytes.set b 0 'x'

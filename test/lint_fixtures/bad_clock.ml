@@ -1,0 +1,6 @@
+(* Seeded-bad fixture for determinism-clock: wall-clock reads in
+   deterministic scope.  Two findings. *)
+
+let stamp () = Unix.gettimeofday ()
+
+let cpu_seconds () = Sys.time ()

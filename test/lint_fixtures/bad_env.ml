@@ -1,0 +1,9 @@
+(* Seeded-bad fixture for determinism-env: ambient environment reads.
+   Two findings; the literal MSP_* read is the sanctioned config-point
+   shape and must stay silent. *)
+
+let home () = Sys.getenv "HOME"
+
+let path () = Unix.getenv "PATH"
+
+let sanctioned () = Sys.getenv_opt "MSP_OPT_CACHE_DIR"

@@ -1,0 +1,9 @@
+(* Seeded-bad fixture for determinism-hashtbl-order: order-sensitive
+   Hashtbl traversals in library code.  Two findings (warnings). *)
+
+let keys tbl =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;
+  !acc
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,27 @@
+(* Seeded-bad fixture for the guarded-by pass.  Three findings:
+   an unannotated top-level mutable binding in a lock-bearing module,
+   an access to guarded state outside any lock region, and a call to a
+   [@requires_lock] function without the lock held. *)
+
+let lock = Mutex.create ()
+
+(* Finding 1: mutable state with neither [@@guarded_by] nor
+   [@@unguarded]. *)
+let counter = ref 0
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16 [@@guarded_by lock]
+
+let bump () = Hashtbl.replace table "bump" 1 [@@requires_lock lock]
+
+(* Finding 2: reads [table] without holding [lock]. *)
+let peek () = Hashtbl.length table
+
+(* Finding 3: calls a [@requires_lock lock] function lock-free. *)
+let sneaky_bump () = bump ()
+
+(* Correct accesses, for contrast: these must stay silent. *)
+let locked_peek () =
+  Mutex.lock lock;
+  let n = Hashtbl.length table in
+  Mutex.unlock lock;
+  n + !counter

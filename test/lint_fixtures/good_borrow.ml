@@ -1,0 +1,24 @@
+(* Annotated-correct counterpart of the borrow fixtures: reading a
+   borrow is free, and copying first makes the result owned — writes
+   and stores of the copy are fine.  The borrow-escape pass must stay
+   silent. *)
+
+type t = { data : float array }
+
+let view t = t.data [@@borrow]
+
+type holder = { mutable stash : float array }
+
+let snapshot t = Array.copy (view t)
+
+let stash h t = h.stash <- snapshot t
+
+let scale t =
+  let v = view t in
+  let out = Array.copy v in
+  Array.set out 0 (Array.get v 0 *. 2.0);
+  out
+
+let total t =
+  let v = view t in
+  Array.fold_left ( +. ) 0.0 v

@@ -1,0 +1,46 @@
+(* Annotated-correct counterpart of bad_unguarded.ml: every mutable
+   binding is declared, and every access holds the lock via one of the
+   recognised region forms (raw lock/unlock sequence, Mutex.protect, a
+   [@lock_wrapper] function, or a [@requires_lock] body).  The
+   guarded-by pass must stay silent. *)
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+[@@lock_wrapper lock]
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16 [@@guarded_by lock]
+let clock = ref 0 [@@guarded_by lock]
+let scratch = ref 0 [@@unguarded "confined to the owning domain"]
+
+let tick () =
+  incr clock;
+  Hashtbl.replace table "tick" !clock
+[@@requires_lock lock]
+
+let observe () = with_lock (fun () -> Hashtbl.length table)
+
+let briefly () =
+  Mutex.lock lock;
+  let n = !clock in
+  Mutex.unlock lock;
+  n + !scratch
+
+let protected () = Mutex.protect lock (fun () -> tick ())
+
+(* Record form: the lock is a sibling Mutex.t field. *)
+type shared = {
+  lock : Mutex.t;
+  queue : int Queue.t; [@guarded_by lock]
+  mutable closed : bool; [@guarded_by lock]
+  mutable hint : int; [@unguarded "advisory, single-writer"]
+}
+
+let push s x =
+  Mutex.lock s.lock;
+  if not s.closed then Queue.push x s.queue;
+  Mutex.unlock s.lock
+
+let bump_hint s = s.hint <- s.hint + 1

@@ -1,0 +1,5 @@
+type t = { data : float array }
+
+let make n = { data = Array.make n 0.0 }
+
+let view t = t.data

@@ -1,0 +1,9 @@
+(* Fixture interface: a zero-copy accessor advertised with [@@borrow],
+   feeding the whole-tree borrow registry. *)
+
+type t
+
+val make : int -> t
+
+val view : t -> float array
+[@@borrow]

@@ -1,0 +1,9 @@
+(* Cross-module seeded-bad fixture: [Borrowlib.view] is [@@borrow] in
+   its interface, so both the write and the un-annotated public return
+   must be flagged when linting the whole tree.  Two findings. *)
+
+let leak t = Borrowlib.view t
+
+let zero t =
+  let v = Borrowlib.view t in
+  Array.fill v 0 1 0.0

@@ -1,0 +1,6 @@
+(* Fixture interface: neither val is [@@borrow]-annotated, so handing
+   a borrow through [leak] must be flagged. *)
+
+val leak : Borrowlib.t -> float array
+
+val zero : Borrowlib.t -> unit

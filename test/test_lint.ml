@@ -4,6 +4,7 @@
 
 module Rules = Msp_lint_core.Lint_rules
 module Driver = Msp_lint_core.Lint_driver
+module Output = Msp_lint_core.Lint_output
 
 let fixture name = Filename.concat "lint_fixtures" name
 
@@ -37,6 +38,22 @@ let rule_io_stdout () = check_only_rule "bad_printf.ml" "io-stdout" 3
 
 let rule_nan_source () = check_only_rule "bad_nan_source.ml" "nan-source" 2
 
+let rule_guarded_by () = check_only_rule "bad_unguarded.ml" "guarded-by" 3
+
+let rule_borrow_write () =
+  check_only_rule "bad_borrow_write.ml" "borrow-escape" 4
+
+let rule_borrow_store () =
+  check_only_rule "bad_borrow_store.ml" "borrow-escape" 2
+
+let rule_determinism_clock () =
+  check_only_rule "bad_clock.ml" "determinism-clock" 2
+
+let rule_determinism_env () = check_only_rule "bad_env.ml" "determinism-env" 2
+
+let rule_hashtbl_order () =
+  check_only_rule "bad_hashtbl_order.ml" "determinism-hashtbl-order" 2
+
 let rule_missing_mli () =
   let files = Driver.walk [ fixture "tree" ] in
   let findings = Driver.missing_mli files in
@@ -51,6 +68,12 @@ let rule_missing_mli () =
 
 let clean_fixture_passes () =
   Alcotest.(check (list string)) "no findings" [] (rules_fired (lint "good_clean.ml"))
+
+let annotated_good_fixtures_pass () =
+  Alcotest.(check (list string)) "guarded-correct is clean" []
+    (rules_fired (lint "good_guarded.ml"));
+  Alcotest.(check (list string)) "borrow-correct is clean" []
+    (rules_fired (lint "good_borrow.ml"))
 
 let suppressions_honoured () =
   Alcotest.(check (list string)) "all suppressed" []
@@ -78,6 +101,24 @@ let driver_kind_still_deterministic () =
   Alcotest.(check (list string)) "random allowed in lib/prng" []
     (rules_fired (lint ~kind:Rules.Prng_library "bad_random.ml"))
 
+let tool_kind_deterministic_but_may_print () =
+  (* tools/ sits between lib and drivers: it may print and exit, but
+     the determinism rules still apply. *)
+  Alcotest.(check (list string)) "printf ok in tools" []
+    (rules_fired (lint ~kind:Rules.Tool "bad_printf.ml"));
+  Alcotest.(check (list string)) "clock banned in tools"
+    [ "determinism-clock" ]
+    (rules_fired (lint ~kind:Rules.Tool "bad_clock.ml"));
+  Alcotest.(check (list string)) "env banned in tools"
+    [ "determinism-env" ]
+    (rules_fired (lint ~kind:Rules.Tool "bad_env.ml"));
+  (* Drivers are exempt from the deterministic-scope rules, and the
+     hashtbl-order heuristic stays library-only. *)
+  Alcotest.(check (list string)) "clock ok in drivers" []
+    (rules_fired (lint ~kind:Rules.Driver "bad_clock.ml"));
+  Alcotest.(check (list string)) "hashtbl order ok in tools" []
+    (rules_fired (lint ~kind:Rules.Tool "bad_hashtbl_order.ml"))
+
 let classification_matches_layout () =
   let check path expected =
     Alcotest.(check bool) path true (Driver.classify path = expected)
@@ -86,7 +127,9 @@ let classification_matches_layout () =
   check "lib/prng/xoshiro.ml" Rules.Prng_library;
   check "bin/msp_cli.ml" Rules.Driver;
   check "bench/main.ml" Rules.Driver;
-  check "examples/quickstart.ml" Rules.Driver
+  check "examples/quickstart.ml" Rules.Driver;
+  check "tools/lint/msp_lint.ml" Rules.Tool;
+  check "tools/gen_golden/gen_golden.ml" Rules.Tool
 
 (* --- Infrastructure --------------------------------------------------- *)
 
@@ -121,19 +164,79 @@ let every_rule_documented () =
 let lint_tree_aggregates () =
   let findings, errors = Driver.lint_tree [ "lint_fixtures" ] in
   Alcotest.(check (list string)) "no parse errors" [] errors;
-  (* Everything under lint_fixtures is classified Driver (no lib/
-     segment), so only kind-independent rules fire — plus missing-mli
-     from the fixture tree, whose path does contain lib/. *)
+  (* Fixtures directly under lint_fixtures are classified Driver (no
+     lib/ segment), so of the per-file rules only the kind-independent
+     ones fire; the annotation passes (guarded-by, borrow-escape) are
+     kind-independent too, and the fixture trees contribute missing-mli
+     and the tree2 cross-module borrow findings. *)
   let rules = rules_fired findings in
   List.iter
     (fun r ->
       Alcotest.(check bool) (r ^ " expected") true
         (List.mem r
            [ "determinism-random"; "float-poly-eq"; "obj-magic";
-             "nan-source"; "missing-mli" ]))
+             "nan-source"; "missing-mli"; "guarded-by"; "borrow-escape" ]))
     rules;
   Alcotest.(check bool) "missing-mli present" true
     (List.mem "missing-mli" rules)
+
+let cross_module_borrows_resolve () =
+  (* [Borrowlib.view] is [@@borrow] only in borrowlib.mli: the write
+     and the public return in consumer.ml are only visible to a
+     whole-tree run that built the registry from every interface. *)
+  let findings, errors = Driver.lint_tree [ fixture "tree2" ] in
+  Alcotest.(check (list string)) "no parse errors" [] errors;
+  Alcotest.(check (list string)) "both escapes flagged"
+    [ "borrow-escape"; "borrow-escape" ]
+    (List.map (fun (f : Rules.finding) -> f.rule) findings);
+  List.iter
+    (fun (f : Rules.finding) ->
+      Alcotest.(check string) "in consumer.ml" "consumer.ml"
+        (Filename.basename f.file))
+    findings
+
+let severities_attached () =
+  (match Rules.find_rule "determinism-hashtbl-order" with
+  | Some r -> Alcotest.(check bool) "hashtbl rule warns" true (r.severity = Rules.Warning)
+  | None -> Alcotest.fail "rule missing");
+  (match Rules.find_rule "guarded-by" with
+  | Some r -> Alcotest.(check bool) "guarded-by errors" true (r.severity = Rules.Error)
+  | None -> Alcotest.fail "rule missing");
+  List.iter
+    (fun (f : Rules.finding) ->
+      Alcotest.(check bool) "finding severity is warning" true
+        (f.severity = Rules.Warning))
+    (lint "bad_hashtbl_order.ml")
+
+let machine_readable_emitters () =
+  let findings = lint "bad_unguarded.ml" in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let json = Output.json ~findings ~errors:[] ~files_checked:1 in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("json has " ^ frag) true (contains json frag))
+    [ "\"tool\":\"msp_lint\""; "\"rule\":\"guarded-by\"";
+      "\"severity\":\"error\""; "\"files_checked\":1" ];
+  let sarif = Output.sarif ~findings ~errors:[ "boom \"quoted\"" ] in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("sarif has " ^ frag) true (contains sarif frag))
+    [ "\"version\":\"2.1.0\""; "\"ruleId\":\"guarded-by\"";
+      "\"startLine\":"; "\"executionSuccessful\":false";
+      "boom \\\"quoted\\\"" ];
+  (* Every rule ships in the SARIF driver block so viewers can render
+     descriptions without the repo checked out. *)
+  List.iter
+    (fun (r : Rules.rule) ->
+      Alcotest.(check bool) (r.id ^ " in sarif rules") true
+        (contains sarif ("\"id\":\"" ^ r.id ^ "\"")))
+    Rules.rules
 
 let () =
   Alcotest.run "lint"
@@ -148,10 +251,20 @@ let () =
           Alcotest.test_case "io-stdout" `Quick rule_io_stdout;
           Alcotest.test_case "nan-source" `Quick rule_nan_source;
           Alcotest.test_case "missing-mli" `Quick rule_missing_mli;
+          Alcotest.test_case "guarded-by" `Quick rule_guarded_by;
+          Alcotest.test_case "borrow-escape writes" `Quick rule_borrow_write;
+          Alcotest.test_case "borrow-escape stores" `Quick rule_borrow_store;
+          Alcotest.test_case "determinism-clock" `Quick
+            rule_determinism_clock;
+          Alcotest.test_case "determinism-env" `Quick rule_determinism_env;
+          Alcotest.test_case "determinism-hashtbl-order" `Quick
+            rule_hashtbl_order;
         ] );
       ( "hygiene",
         [
           Alcotest.test_case "clean fixture" `Quick clean_fixture_passes;
+          Alcotest.test_case "annotated-good fixtures" `Quick
+            annotated_good_fixtures_pass;
           Alcotest.test_case "suppressions" `Quick suppressions_honoured;
           Alcotest.test_case "positions" `Quick findings_have_positions;
         ] );
@@ -161,6 +274,8 @@ let () =
             driver_kind_may_print_and_exit;
           Alcotest.test_case "drivers stay deterministic" `Quick
             driver_kind_still_deterministic;
+          Alcotest.test_case "tools deterministic but may print" `Quick
+            tool_kind_deterministic_but_may_print;
           Alcotest.test_case "classification" `Quick
             classification_matches_layout;
         ] );
@@ -169,5 +284,10 @@ let () =
           Alcotest.test_case "parse errors" `Quick parse_errors_reported;
           Alcotest.test_case "rules documented" `Quick every_rule_documented;
           Alcotest.test_case "lint_tree" `Quick lint_tree_aggregates;
+          Alcotest.test_case "cross-module borrows" `Quick
+            cross_module_borrows_resolve;
+          Alcotest.test_case "severities" `Quick severities_attached;
+          Alcotest.test_case "json+sarif emitters" `Quick
+            machine_readable_emitters;
         ] );
     ]
