@@ -160,11 +160,20 @@ module Session = struct
       cost = Cost.zero;
     }
 
+  (* All request validation happens before the stepper is invoked: the
+     stepper is a stateful closure, so calling it and then raising
+     would leave a half-applied step (advanced algorithm state, stale
+     session counters).  After an [Invalid_argument] from here the
+     session is exactly as it was — the caller may drop the bad round
+     and keep stepping, which the simtest harness's Reset-after-failure
+     op relies on. *)
   let step session requests =
     Array.iter
       (fun v ->
         if Vec.dim v <> session.dim then
-          invalid_arg "Engine.Session.step: request dimension mismatch")
+          invalid_arg "Engine.Session.step: request dimension mismatch";
+        if not (is_finite_vec v) then
+          invalid_arg "Engine.Session.step: non-finite request coordinate")
       requests;
     let proposed = session.stepper requests in
     let clamped =

@@ -95,7 +95,12 @@ module Session : sig
 
   val step : t -> Geometry.Vec.t array -> step_record
   (** Feed one round of requests; returns the post-round record.
-      Requests must match the session's dimension. *)
+      Raises [Invalid_argument] if any request's dimension differs
+      from the session's or any coordinate is non-finite — and does so
+      {e before} touching any session state (position, cost, counters,
+      the algorithm's internal state), so a failed step is not half
+      applied: the caller can drop the bad round and keep stepping the
+      same session. *)
 
   val position : t -> Geometry.Vec.t
   (** Current server position. *)

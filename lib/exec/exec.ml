@@ -14,13 +14,16 @@ module Pool = struct
   type t = {
     lock : Mutex.t;
     not_empty : Condition.t;
+    stopped : Condition.t;
     queue : task Queue.t; [@guarded_by lock]
     capacity : int;
     mutable stopping : bool; [@guarded_by lock]
+    mutable joined : bool; [@guarded_by lock]
     mutable workers : unit Domain.t array;
         [@unguarded
           "written only by the creating domain (create) and the single \
-           shutdown caller, after every worker has been joined"]
+           joining shutdown caller (the one that flipped [stopping]), \
+           after every worker has been joined"]
     size : int;
   }
 
@@ -60,9 +63,11 @@ module Pool = struct
       {
         lock = Mutex.create ();
         not_empty = Condition.create ();
+        stopped = Condition.create ();
         queue = Queue.create ();
         capacity = Stdlib.max 4 (2 * jobs);
         stopping = false;
+        joined = false;
         workers = [||];
         size = jobs;
       }
@@ -74,21 +79,25 @@ module Pool = struct
   (* Enqueue if there is room, otherwise run the task in the calling
      domain.  Submission therefore never blocks, which is what makes
      nested [run] calls deadlock-free: a domain that cannot hand work
-     off simply does it. *)
+     off simply does it.  A pool that is stopping (or already shut
+     down) also takes the caller-runs path: a [run] racing a
+     [shutdown] — the simtest harness's Concurrent_step op tears pools
+     down while sibling ops still submit — must neither deadlock nor
+     blow up halfway through its submit loop with some tasks already
+     queued.  Degrading to the submitting domain keeps every result
+     slot filled and bit-identical (scheduling is never observable).
+     Invariant: the queue never grows after [stopping] is set, which is
+     what lets [shutdown]'s join terminate. *)
   let submit pool task =
     Mutex.lock pool.lock;
-    if pool.stopping then begin
+    if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
       Mutex.unlock pool.lock;
-      invalid_arg "Exec.Pool.submit: pool is shut down"
-    end;
-    if Queue.length pool.queue < pool.capacity then begin
+      task ()
+    end
+    else begin
       Queue.push task pool.queue;
       Condition.signal pool.not_empty;
       Mutex.unlock pool.lock
-    end
-    else begin
-      Mutex.unlock pool.lock;
-      task ()
     end
 
   let run pool ~tasks f =
@@ -136,15 +145,32 @@ module Pool = struct
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     end
 
+  (* The first caller flips [stopping], joins the workers and
+     announces completion; any concurrent caller waits for that
+     announcement instead of returning while worker domains are still
+     alive (the old early return let a second shutdown — e.g. the
+     at_exit hook racing an explicit one — proceed as if teardown were
+     done).  Workers drain the queue before exiting, so every task
+     queued before the flip still runs; tasks submitted after it run
+     caller-side (see [submit]). *)
   let shutdown pool =
     Mutex.lock pool.lock;
-    if pool.stopping then Mutex.unlock pool.lock
+    if pool.stopping then begin
+      while not pool.joined do
+        Condition.wait pool.stopped pool.lock
+      done;
+      Mutex.unlock pool.lock
+    end
     else begin
       pool.stopping <- true;
       Condition.broadcast pool.not_empty;
       Mutex.unlock pool.lock;
       Array.iter Domain.join pool.workers;
-      pool.workers <- [||]
+      pool.workers <- [||];
+      Mutex.lock pool.lock;
+      pool.joined <- true;
+      Condition.broadcast pool.stopped;
+      Mutex.unlock pool.lock
     end
 end
 
@@ -200,9 +226,20 @@ let obtain_pool n =
     (match previous with None -> () | Some p -> Pool.shutdown p);
     let p = Pool.create ~jobs:n in
     Mutex.lock pool_lock;
-    shared_pool := Some p;
-    Mutex.unlock pool_lock;
-    p
+    (* Another domain may have installed a pool while ours was being
+       created; never overwrite it blindly — the loser's pool would
+       leak with its worker domains parked forever.  Exactly one pool
+       survives, every other one is shut down. *)
+    (match !shared_pool with
+     | Some q when Pool.size q = n ->
+       Mutex.unlock pool_lock;
+       Pool.shutdown p;
+       q
+     | displaced ->
+       shared_pool := Some p;
+       Mutex.unlock pool_lock;
+       (match displaced with None -> () | Some q -> Pool.shutdown q);
+       p)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic seed splitting.                                       *)

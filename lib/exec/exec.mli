@@ -86,5 +86,11 @@ module Pool : sig
 
   val shutdown : t -> unit
   (** Drain outstanding tasks, stop the workers and join them.
-      Idempotent.  Submitting to a shut-down pool raises. *)
+      Idempotent and synchronous: concurrent callers all return only
+      once every worker domain has been joined.  Work submitted to a
+      pool that is shutting down (or already shut down) runs in the
+      submitting domain instead — {!run} racing a [shutdown] still
+      completes with the same results, it just stops getting help.
+      Must not be called from inside one of the pool's own tasks (the
+      join would wait on the calling domain). *)
 end

@@ -243,6 +243,20 @@ let lazy_row state s =
         evict_over_capacity state;
         row)
 
+(* Simulation-testing hook: model a row-cache crash by dropping every
+   cached row.  Rows are pure functions of (graph, source), so a
+   recompute after invalidation is bitwise identical — which is exactly
+   the invariant the simtest harness checks against the dense oracle.
+   Borrowed rows already handed out stay valid (they are immutable and
+   merely unreferenced by the table). *)
+let invalidate = function
+  | Dense _ -> ()
+  | Lazy { state; _ } ->
+    Mutex.lock state.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock state.lock)
+      (fun () -> Hashtbl.reset state.rows)
+
 let row m u =
   let n = size m in
   if u < 0 || u >= n then invalid_arg "Dijkstra.row: node out of range";

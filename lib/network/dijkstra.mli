@@ -40,6 +40,13 @@ val lazy_metric : ?capacity:int -> Graph.t -> metric
 val is_dense : metric -> bool
 (** Whether the metric holds the full closure. *)
 
+val invalidate : metric -> unit
+(** Simulation-testing hook: drop every cached row of a lazy metric
+    (no-op on a dense one), as if the row cache were lost.  Subsequent
+    queries recompute rows from the graph — bitwise identical to the
+    evicted ones, which the {!Simtest} harness cross-checks against a
+    dense oracle.  Previously borrowed rows remain valid. *)
+
 val to_dense : metric -> metric
 (** [to_dense m] is [m] if dense already, else the densified closure
     of the lazy metric's graph — bitwise the same distances. *)

@@ -47,25 +47,122 @@ let key ~solver (config : Config.t) packed =
   Buffer.add_string buf (Instance.Packed.serialize packed);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* --- deterministic fault injection (simtest hooks) ------------------- *)
+
+(* One-shot fault arms consumed by the next disk IO.  Unarmed (the
+   production state) the store's code path is exactly the unhooked one;
+   the simtest harness arms a fault, the next read/write hits it, and
+   the arm clears — so a run is a pure function of its op sequence. *)
+module Faults = struct
+  type read_corruption = Sys_err | Truncate | Garbage
+
+  let pending_write_fail = ref false [@@guarded_by lock]
+  let pending_read : read_corruption option ref = ref None [@@guarded_by lock]
+  let quarantined_files = ref 0 [@@guarded_by lock]
+
+  let fail_next_write () = with_lock (fun () -> pending_write_fail := true)
+  let corrupt_next_read c = with_lock (fun () -> pending_read := Some c)
+
+  let clear () =
+    with_lock (fun () ->
+        pending_write_fail := false;
+        pending_read := None)
+
+  let take_write_fail () =
+    with_lock (fun () ->
+        let armed = !pending_write_fail in
+        pending_write_fail := false;
+        armed)
+
+  let take_read () =
+    with_lock (fun () ->
+        let armed = !pending_read in
+        pending_read := None;
+        armed)
+
+  let quarantined () = with_lock (fun () -> !quarantined_files)
+  let note_quarantine () = with_lock (fun () -> incr quarantined_files)
+end
+
 (* --- optional on-disk store ----------------------------------------- *)
 
 let disk_path d digest = Filename.concat d (digest ^ ".opt")
 
+(* An entry is exactly 16 lowercase hex digits plus a newline — the
+   [%016Lx\n] the writer produces.  Anything else on disk is corruption
+   (torn write, truncation, bit rot, foreign file) and must behave as a
+   miss: the value recomputes from the digest's inputs, so dropping the
+   entry is always safe, while trusting it never is. *)
+let entry_length = 17
+
+let is_hex_digit c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let valid_entry s =
+  String.length s = entry_length
+  && s.[entry_length - 1] = '\n'
+  &&
+  let ok = ref true in
+  for i = 0 to entry_length - 2 do
+    if not (is_hex_digit s.[i]) then ok := false
+  done;
+  !ok
+
+(* Remove a corrupt entry so it cannot be re-read (and re-rejected)
+   forever; best-effort, like every disk-store operation. *)
+let quarantine path =
+  Faults.note_quarantine ();
+  try Sys.remove path with Sys_error _ -> ()
+
+let overwrite_file path bytes =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc bytes)
+  with Sys_error _ -> ()
+
 (* Costs travel as IEEE-754 bits in hex — never [float_of_string],
-   which is lossy in text round-trips and a lint-banned NaN source. *)
+   which is lossy in text round-trips and a lint-banned NaN source.
+   The whole read is guarded: a corrupt or truncated entry (or an IO
+   error mid-read) is a miss, never an exception escaping into the
+   lookup path, and never a garbage float poisoning the in-memory
+   LRU.  Invalid entries are quarantined (removed). *)
 let disk_read d digest =
-  match open_in_bin (disk_path d digest) with
+  let path = disk_path d digest in
+  (match Faults.take_read () with
+   | None -> ()
+   | Some Faults.Truncate -> overwrite_file path "0b"
+   | Some Faults.Garbage -> overwrite_file path "zzzzzzzzzzzzzzzz\n"
+   | Some Faults.Sys_err -> raise (Sys_error "opt-cache: injected read fault"));
+  match open_in_bin path with
   | exception Sys_error _ -> None
   | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        match input_line ic with
-        | exception End_of_file -> None
-        | line ->
-          (match Int64.of_string ("0x" ^ String.trim line) with
-           | exception Failure _ -> None
-           | bits -> Some (Int64.float_of_bits bits)))
+    let entry =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            let len = in_channel_length ic in
+            if len <> entry_length then None
+            else begin
+              let s = really_input_string ic entry_length in
+              if not (valid_entry s) then None
+              else
+                match Int64.of_string ("0x" ^ String.sub s 0 16) with
+                | exception Failure _ -> None
+                | bits -> Some (Int64.float_of_bits bits)
+            end
+          with Sys_error _ | End_of_file -> None)
+    in
+    (match entry with
+     | None ->
+       quarantine path;
+       None
+     | some -> some)
+
+let disk_read d digest =
+  try disk_read d digest with Sys_error _ -> None
 
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
@@ -79,6 +176,8 @@ let rec mkdir_p d =
    failure silently degrades to an uncached solve. *)
 let disk_write d digest value =
   try
+    if Faults.take_write_fail () then
+      raise (Sys_error "opt-cache: injected write fault");
     mkdir_p d;
     let tmp = Filename.temp_file ~temp_dir:d "opt-" ".tmp" in
     let oc = open_out_bin tmp in

@@ -82,3 +82,40 @@ val stats : unit -> stats
 
 val reset_stats : unit -> unit
 (** Zero the counters. *)
+
+(** Deterministic fault injection for the disk store — simulation-testing
+    hooks used by {!Simtest} (see [docs/simtest.md]).
+
+    Each arm is one-shot: it is consumed by the next disk read or write
+    and then clears, so an op sequence maps to a fixed set of injected
+    failures.  With nothing armed the store runs exactly the production
+    code path.  The store's contract under any failure (injected or
+    real) is: a corrupt, truncated or unreadable entry is a {e miss} —
+    the value recomputes from the digest's inputs, invalid files are
+    quarantined (removed), and no garbage float ever enters the
+    in-memory LRU. *)
+module Faults : sig
+  type read_corruption =
+    | Sys_err  (** The next read raises [Sys_error] internally (an IO
+                   error): treated as a miss. *)
+    | Truncate  (** The next read finds the entry truncated (short
+                    file): miss + quarantine. *)
+    | Garbage  (** The next read finds non-hex garbage bytes: miss +
+                   quarantine. *)
+
+  val fail_next_write : unit -> unit
+  (** Arm the next {e disk write} to fail with an internal [Sys_error]
+      (the entry is simply not persisted — the documented degraded
+      mode). *)
+
+  val corrupt_next_read : read_corruption -> unit
+  (** Arm the next {e disk read} with the given corruption. *)
+
+  val clear : unit -> unit
+  (** Disarm any pending fault. *)
+
+  val quarantined : unit -> int
+  (** Number of invalid entries removed from the disk store since
+      process start — lets tests assert the quarantine path actually
+      ran. *)
+end

@@ -415,6 +415,40 @@ let session_validates_dimension () =
     (Invalid_argument "Engine.Session.step: request dimension mismatch")
     (fun () -> ignore (Engine.Session.step session [| Vec.make1 0.0 |]))
 
+let session_rejects_before_mutating () =
+  (* Regression: validation must run before the stateful stepper, so a
+     rejected round is not half applied — the session stays bit-equal
+     to one that never saw the bad round and keeps stepping in lockstep
+     with a fresh replay. *)
+  let config = Config.make ~delta:0.5 () in
+  let fresh () =
+    Engine.Session.create config Mobile_server.Mtc.algorithm
+      ~start:(Vec.zero 1)
+  in
+  let session = fresh () in
+  ignore (Engine.Session.step session [| Vec.make1 2.0 |]);
+  let cost0 = Cost.total (Engine.Session.cost session) in
+  let pos0 = (Engine.Session.position session).(0) in
+  Alcotest.check_raises "non-finite request"
+    (Invalid_argument "Engine.Session.step: non-finite request coordinate")
+    (fun () ->
+      ignore
+        (Engine.Session.step session [| Vec.make1 1.0; Vec.make1 Float.nan |]));
+  Alcotest.(check int) "round not counted" 1 (Engine.Session.rounds session);
+  check_float "cost unchanged" cost0 (Cost.total (Engine.Session.cost session));
+  check_float "position unchanged" pos0 (Engine.Session.position session).(0);
+  (* The survivor must keep matching a session that never saw the bad
+     round — i.e. the rejected step left no hidden algorithm state. *)
+  let witness = fresh () in
+  ignore (Engine.Session.step witness [| Vec.make1 2.0 |]);
+  List.iter
+    (fun x ->
+      let a = Engine.Session.step session [| Vec.make1 x |] in
+      let b = Engine.Session.step witness [| Vec.make1 x |] in
+      check_float (Printf.sprintf "lockstep at %g" x) b.Engine.position.(0)
+        a.Engine.position.(0))
+    [ 2.5; -1.0; 0.25 ]
+
 let session_position_isolated () =
   let config = Config.make () in
   let session =
@@ -541,6 +575,8 @@ let () =
           Alcotest.test_case "counts clamped" `Quick session_counts_clamped;
           Alcotest.test_case "validates dimension" `Quick
             session_validates_dimension;
+          Alcotest.test_case "rejects before mutating" `Quick
+            session_rejects_before_mutating;
           Alcotest.test_case "position isolated" `Quick session_position_isolated;
         ] );
       ( "properties",

@@ -326,6 +326,79 @@ let cache_disk_roundtrip () =
   check_float_bits "disk entry round-trips the exact bits" solved from_disk;
   Alcotest.(check bool) "disk hit recorded" true (after > before)
 
+let cache_corrupt_entry_is_miss () =
+  (* Regression: a corrupt, truncated or unreadable disk entry must be
+     a miss — the optimum recomputes to the exact bits, the bad file is
+     quarantined (removed), and nothing raises or poisons the LRU. *)
+  let module Faults = Offline.Opt_cache.Faults in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "msp-opt-cache-corrupt"
+  in
+  let saved = Offline.Opt_cache.disk_dir () in
+  Offline.Opt_cache.set_disk_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.clear ();
+      Offline.Opt_cache.set_disk_dir saved)
+    (fun () ->
+      let config = Config.make ~d_factor:2.0 () in
+      let rng = Prng.Stream.named ~name:"packed-cache-corrupt" ~seed:17 in
+      let p = Instance.pack (line_inst rng ~t:10) in
+      Offline.Opt_cache.clear ();
+      let solved = Offline.Opt_cache.line_dp config p in
+      List.iter
+        (fun (label, corruption, expect_quarantine) ->
+          Offline.Opt_cache.clear ();
+          let q0 = Faults.quarantined () in
+          Faults.corrupt_next_read corruption;
+          let recomputed = Offline.Opt_cache.line_dp config p in
+          check_float_bits
+            (Printf.sprintf "%s: degraded answer equals the solve" label)
+            solved recomputed;
+          let quarantined = Faults.quarantined () - q0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: quarantine" label)
+            expect_quarantine (quarantined > 0);
+          (* The quarantined entry is gone: the next cold lookup misses
+             the disk cleanly and re-persists the value. *)
+          Offline.Opt_cache.clear ();
+          check_float_bits
+            (Printf.sprintf "%s: cache self-heals" label)
+            solved
+            (Offline.Opt_cache.line_dp config p))
+        [
+          ("sys-error", Faults.Sys_err, false);
+          ("truncate", Faults.Truncate, true);
+          ("garbage", Faults.Garbage, true);
+        ])
+
+let cache_write_fault_degrades () =
+  (* Regression: a failed disk write is the documented degraded mode —
+     the value is served from memory, and a later cold lookup simply
+     recomputes the same bits. *)
+  let module Faults = Offline.Opt_cache.Faults in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "msp-opt-cache-wfail"
+  in
+  let saved = Offline.Opt_cache.disk_dir () in
+  Offline.Opt_cache.set_disk_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.clear ();
+      Offline.Opt_cache.set_disk_dir saved)
+    (fun () ->
+      let config = Config.make ~d_factor:2.0 () in
+      let rng = Prng.Stream.named ~name:"packed-cache-wfail" ~seed:23 in
+      let p = Instance.pack (line_inst rng ~t:10) in
+      Offline.Opt_cache.clear ();
+      Faults.fail_next_write ();
+      let solved = Offline.Opt_cache.line_dp config p in
+      let served = Offline.Opt_cache.line_dp config p in
+      check_float_bits "memory still serves the value" solved served;
+      Offline.Opt_cache.clear ();
+      let recomputed = Offline.Opt_cache.line_dp config p in
+      check_float_bits "cold lookup recomputes the bits" solved recomputed)
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -360,5 +433,9 @@ let () =
             cache_sweep_jobs_identity;
           Alcotest.test_case "disk store round-trips bits" `Quick
             cache_disk_roundtrip;
+          Alcotest.test_case "corrupt entry = miss + quarantine" `Quick
+            cache_corrupt_entry_is_miss;
+          Alcotest.test_case "write fault degrades" `Quick
+            cache_write_fault_degrades;
         ] );
     ]
