@@ -1,0 +1,395 @@
+module Engine = Mobile_server.Engine
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+module Cost = Mobile_server.Cost
+module Vec = Geometry.Vec
+module Opt_cache = Offline.Opt_cache
+
+type outcome =
+  | Pass
+  | Fail of { index : int; op : Op.op option; reason : string }
+
+type result = {
+  outcome : outcome;
+  ops_run : int;
+  checks : int;
+  faults_armed : int;
+  quarantined : int;
+}
+
+let graph_nodes = 24
+let lazy_capacity = 4
+let cache_capacity = 512
+let start () = Vec.make1 0.0
+
+(* D = 2 makes movement strictly more expensive than service (clamping
+   and the DP's move term both bind); δ = 0.5 gives the session a real
+   augmentation gap over the offline optimum. *)
+let config = Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.5 ()
+
+(* Oracle mismatches travel on this exception; anything else escaping
+   an op is a bug in the system under test and fails the run too. *)
+exception Check_failed of string
+
+let check_failed fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt
+
+(* All equality is on IEEE-754 bits: the oracle promises bit-identical
+   answers, and bits-equality is total (NaN-safe) where (=.) is not. *)
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let same_vec a b =
+  Vec.dim a = Vec.dim b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (same_bits x b.(i)) then ok := false) a;
+  !ok
+
+let same_cost (a : Cost.breakdown) (b : Cost.breakdown) =
+  same_bits a.move b.move && same_bits a.service b.service
+
+type state = {
+  session_base : Prng.Stream.t;
+  fleet_base : Prng.Stream.t;
+  mutable generation : int;
+  mutable session : Engine.Session.t;
+  mutable prefix_rev : Vec.t array list;  (** Rounds fed, newest first. *)
+  dense : Network.Dijkstra.metric;
+  lazy_m : Network.Dijkstra.metric;
+  mutable checks : int;
+  mutable faults_armed : int;
+}
+
+let make_session ~session_base ~generation =
+  Engine.Session.create
+    ~rng:(Prng.Stream.replicate session_base generation)
+    config Mobile_server.Mtc.algorithm ~start:(start ())
+
+let new_session st =
+  make_session ~session_base:st.session_base ~generation:st.generation
+
+let prefix_instance st =
+  Instance.make ~start:(start ()) (Array.of_list (List.rev st.prefix_rev))
+
+(* --- the oracle ------------------------------------------------------ *)
+
+let check_session_vs_batch st =
+  st.checks <- st.checks + 1;
+  let inst = prefix_instance st in
+  let batch =
+    Engine.run
+      ~rng:(Prng.Stream.replicate st.session_base st.generation)
+      config Mobile_server.Mtc.algorithm inst
+  in
+  let s = st.session in
+  if Engine.Session.rounds s <> Instance.length inst then
+    check_failed "session played %d rounds, prefix has %d"
+      (Engine.Session.rounds s) (Instance.length inst);
+  if not (same_cost (Engine.Session.cost s) batch.Engine.cost) then
+    check_failed "session cost %.17g diverges from batch replay %.17g"
+      (Cost.total (Engine.Session.cost s))
+      (Cost.total batch.Engine.cost);
+  let batch_pos =
+    let t = Array.length batch.Engine.positions in
+    if t = 0 then start () else batch.Engine.positions.(t - 1)
+  in
+  if not (same_vec (Engine.Session.position s) batch_pos) then
+    check_failed "session position diverges from batch replay";
+  if Engine.Session.clamped_count s <> batch.Engine.clamped then
+    check_failed "session clamped %d rounds, batch replay clamped %d"
+      (Engine.Session.clamped_count s) batch.Engine.clamped
+
+let check_opt st =
+  if st.prefix_rev <> [] then begin
+    st.checks <- st.checks + 1;
+    let packed = Instance.pack (prefix_instance st) in
+    let cached = Opt_cache.line_dp config packed in
+    let cold = Offline.Line_dp.optimum_packed config packed in
+    if not (same_bits cached cold) then
+      check_failed "cached optimum %.17g diverges from cold recompute %.17g"
+        cached cold
+  end
+
+let check_metric st =
+  st.checks <- st.checks + 1;
+  let n = Network.Dijkstra.size st.dense in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let l = Network.Dijkstra.distance st.lazy_m u v in
+      let d = Network.Dijkstra.distance st.dense u v in
+      if not (same_bits l d) then
+        check_failed "lazy metric d(%d,%d) = %.17g, dense closure says %.17g"
+          u v l d
+    done
+  done
+
+let checkpoint st =
+  check_session_vs_batch st;
+  check_opt st;
+  check_metric st
+
+(* --- op execution ---------------------------------------------------- *)
+
+let do_step st ~inject_bug requests =
+  let fed =
+    (* The seeded bug: silently drop the last request of a
+       multi-request round on the live path only — the prefix keeps
+       the full round, so the batch-replay oracle flushes it out. *)
+    if inject_bug && Array.length requests >= 2 then
+      Array.sub requests 0 (Array.length requests - 1)
+    else requests
+  in
+  ignore (Engine.Session.step st.session fed);
+  st.prefix_rev <- requests :: st.prefix_rev
+
+let do_bad_step st which =
+  st.checks <- st.checks + 1;
+  let bad =
+    match which with
+    | Op.Dim_mismatch -> [| [| 1.0; 2.0 |] |]
+    | Op.Non_finite -> [| [| Float.nan |] |]
+  in
+  let s = st.session in
+  let rounds0 = Engine.Session.rounds s in
+  let pos0 = Vec.copy (Engine.Session.position s) in
+  let cost0 = Engine.Session.cost s in
+  let clamped0 = Engine.Session.clamped_count s in
+  (match Engine.Session.step s bad with
+   | _ -> check_failed "invalid round was accepted by Session.step"
+   | exception Invalid_argument _ -> ());
+  if Engine.Session.rounds s <> rounds0 then
+    check_failed "rejected round advanced the session's round counter";
+  if not (same_vec (Engine.Session.position s) pos0) then
+    check_failed "rejected round moved the server";
+  if not (same_cost (Engine.Session.cost s) cost0) then
+    check_failed "rejected round charged cost";
+  if Engine.Session.clamped_count s <> clamped0 then
+    check_failed "rejected round bumped the clamp counter"
+
+let do_fleet_check st k =
+  st.checks <- st.checks + 1;
+  let k = max 1 (min k 8) in
+  let inst = prefix_instance st in
+  let play () =
+    Multi.Fleet_engine.run
+      ~rng:(Prng.Stream.replicate st.fleet_base k)
+      ~k config Multi.Fleet_mtc.greedy_partition inst
+  in
+  let r1 = play () in
+  let r2 = play () in
+  if not (same_cost r1.Multi.Fleet_engine.cost r2.Multi.Fleet_engine.cost)
+  then
+    check_failed "fleet replays with equal seeds disagree on cost";
+  let f1 = r1.Multi.Fleet_engine.fleets in
+  let f2 = r2.Multi.Fleet_engine.fleets in
+  if Array.length f1 <> Array.length f2 then
+    check_failed "fleet replays disagree on round count";
+  Array.iteri
+    (fun t fleet ->
+      Array.iteri
+        (fun i pos ->
+          if not (same_vec pos f2.(t).(i)) then
+            check_failed "fleet replays diverge at round %d server %d" t i)
+        fleet)
+    f1
+
+let do_concurrent_step st k =
+  st.checks <- st.checks + 1;
+  let k = max 1 (min k 8) in
+  let rounds = Array.of_list (List.rev st.prefix_rev) in
+  let replay _ =
+    let s =
+      Engine.Session.create
+        ~rng:(Prng.Stream.replicate st.session_base st.generation)
+        config Mobile_server.Mtc.algorithm ~start:(start ())
+    in
+    Array.iter (fun r -> ignore (Engine.Session.step s r)) rounds;
+    ( Engine.Session.rounds s,
+      Vec.copy (Engine.Session.position s),
+      Engine.Session.cost s,
+      Engine.Session.clamped_count s )
+  in
+  let check_replica label (rounds_r, pos, cost, clamped) =
+    let live = st.session in
+    if rounds_r <> Engine.Session.rounds live then
+      check_failed "%s replica played %d rounds, live session %d" label
+        rounds_r (Engine.Session.rounds live);
+    if not (same_vec pos (Engine.Session.position live)) then
+      check_failed "%s replica position diverges from live session" label;
+    if not (same_cost cost (Engine.Session.cost live)) then
+      check_failed "%s replica cost diverges from live session" label;
+    if clamped <> Engine.Session.clamped_count live then
+      check_failed "%s replica clamp count diverges from live session" label
+  in
+  let pool = Exec.Pool.create ~jobs:2 in
+  let pooled = Array.make k None in
+  let late = Array.make k None in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      Exec.Pool.run pool ~tasks:k (fun i -> pooled.(i) <- Some (replay i));
+      (* Tear the pool down, then submit again: the batch must run
+         caller-side with identical results (the shutdown-vs-submit
+         regression the Pool fix guarantees). *)
+      Exec.Pool.shutdown pool;
+      Exec.Pool.run pool ~tasks:k (fun i -> late.(i) <- Some (replay i)));
+  Array.iter
+    (function
+      | Some r -> check_replica "pooled" r
+      | None -> check_failed "pooled replica never ran")
+    pooled;
+  Array.iter
+    (function
+      | Some r -> check_replica "post-shutdown" r
+      | None -> check_failed "post-shutdown replica never ran")
+    late
+
+let exec_op st ~inject_bug op =
+  match op with
+  | Op.Step requests -> do_step st ~inject_bug requests
+  | Op.Bad_step which -> do_bad_step st which
+  | Op.Reset ->
+    check_session_vs_batch st;
+    st.generation <- st.generation + 1;
+    st.prefix_rev <- [];
+    st.session <- new_session st
+  | Op.Checkpoint -> checkpoint st
+  | Op.Opt_query -> check_opt st
+  | Op.Cache_evict ->
+    Opt_cache.set_capacity 1;
+    Opt_cache.set_capacity cache_capacity
+  | Op.Cache_clear -> Opt_cache.clear ()
+  | Op.Disk_write_fail ->
+    st.faults_armed <- st.faults_armed + 1;
+    Opt_cache.Faults.fail_next_write ()
+  | Op.Disk_read_corrupt c ->
+    st.faults_armed <- st.faults_armed + 1;
+    (* Clear the in-memory layer so the next lookup actually reaches
+       the disk store, arm the corruption, and immediately assert the
+       degraded answer still equals a cold recompute. *)
+    Opt_cache.clear ();
+    Opt_cache.Faults.corrupt_next_read c;
+    check_opt st
+  | Op.Metric_query (u, v) ->
+    st.checks <- st.checks + 1;
+    let n = Network.Dijkstra.size st.dense in
+    let u = ((u mod n) + n) mod n and v = ((v mod n) + n) mod n in
+    let l = Network.Dijkstra.distance st.lazy_m u v in
+    let d = Network.Dijkstra.distance st.dense u v in
+    if not (same_bits l d) then
+      check_failed "lazy metric d(%d,%d) = %.17g, dense closure says %.17g"
+        u v l d
+  | Op.Metric_invalidate -> Network.Dijkstra.invalidate st.lazy_m
+  | Op.Fleet_check k -> do_fleet_check st k
+  | Op.Concurrent_step k -> do_concurrent_step st k
+
+(* --- run setup / teardown ------------------------------------------- *)
+
+(* The disk store must start empty and die with the run: a fresh
+   private temp directory keeps the quarantine counter and every
+   disk-path decision a pure function of the op list. *)
+let make_temp_dir () =
+  let path = Filename.temp_file "msp-simtest" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let remove_temp_dir path =
+  match Sys.readdir path with
+  | entries ->
+    Array.iter
+      (fun e -> try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+      entries;
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let run_ops ?(inject_bug = false) ~seed ops =
+  let saved_dir = Opt_cache.disk_dir () in
+  let tmp = make_temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Opt_cache.Faults.clear ();
+      Opt_cache.set_disk_dir saved_dir;
+      Opt_cache.clear ();
+      remove_temp_dir tmp)
+    (fun () ->
+      Opt_cache.set_disk_dir (Some tmp);
+      Opt_cache.set_capacity cache_capacity;
+      Opt_cache.clear ();
+      let quarantined0 = Opt_cache.Faults.quarantined () in
+      let graph, _layout =
+        Network.Graph.random_geometric ~n:graph_nodes
+          (Prng.Stream.named ~name:"simtest-graph" ~seed)
+      in
+      let session_base = Prng.Stream.named ~name:"simtest-session" ~seed in
+      let st =
+        {
+          session_base;
+          fleet_base = Prng.Stream.named ~name:"simtest-fleet" ~seed;
+          generation = 0;
+          session = make_session ~session_base ~generation:0;
+          prefix_rev = [];
+          dense = Network.Dijkstra.all_pairs graph;
+          lazy_m = Network.Dijkstra.lazy_metric ~capacity:lazy_capacity graph;
+          checks = 0;
+          faults_armed = 0;
+        }
+      in
+      let guard f =
+        match f () with
+        | () -> None
+        | exception Check_failed reason -> Some reason
+        | exception exn ->
+          Some ("unexpected exception: " ^ Printexc.to_string exn)
+      in
+      let rec loop i ran = function
+        | [] ->
+          (* Implicit final checkpoint: every run ends with a full
+             oracle sweep, so a divergence planted by the last few ops
+             cannot slip out as a Pass. *)
+          (match guard (fun () -> checkpoint st) with
+           | None -> (Pass, ran)
+           | Some reason -> (Fail { index = i; op = None; reason }, ran))
+        | op :: rest ->
+          (match guard (fun () -> exec_op st ~inject_bug op) with
+           | None -> loop (i + 1) (ran + 1) rest
+           | Some reason -> (Fail { index = i; op = Some op; reason }, ran))
+      in
+      let outcome, ops_run = loop 0 0 ops in
+      {
+        outcome;
+        ops_run;
+        checks = st.checks;
+        faults_armed = st.faults_armed;
+        quarantined = Opt_cache.Faults.quarantined () - quarantined0;
+      })
+
+let gen_ops ?(weights = Op.default_weights) ~seed ~count () =
+  let g = Prng.Stream.named ~name:"simtest-ops" ~seed in
+  let rec build acc n =
+    if n = 0 then List.rev acc
+    else build (Op.gen ~graph_nodes weights g :: acc) (n - 1)
+  in
+  build [] (max 0 count)
+
+let run ?inject_bug ?weights ~seed ~count () =
+  run_ops ?inject_bug ~seed (gen_ops ?weights ~seed ~count ())
+
+let fails ?inject_bug ~seed ops =
+  match (run_ops ?inject_bug ~seed ops).outcome with
+  | Pass -> false
+  | Fail _ -> true
+
+let result_to_string r =
+  let verdict =
+    match r.outcome with
+    | Pass -> "pass"
+    | Fail { index; op; reason } ->
+      Printf.sprintf "fail at op %d (%s): %s" index
+        (match op with
+         | Some op -> Op.to_string op
+         | None -> "final checkpoint")
+        reason
+  in
+  Printf.sprintf
+    "verdict: %s\nops-run: %d\nchecks: %d\nfaults-armed: %d\nquarantined: %d\n"
+    verdict r.ops_run r.checks r.faults_armed r.quarantined

@@ -1,0 +1,71 @@
+(** The deterministic simulation harness: execute an op list against a
+    live system-under-test and oracle every answer.
+
+    One run owns: an incremental {!Mobile_server.Engine.Session} (MtC,
+    1-D, [D = 2], [m = 1], [δ = 0.5]) mirrored by a growing request
+    {e prefix}; the process-wide {!Offline.Opt_cache} pointed at a
+    fresh private temp directory; and a seed-derived random geometric
+    graph queried through both a dense {!Network.Dijkstra} closure (the
+    oracle) and a [capacity]-4 lazy metric (the system under test).
+
+    The oracle, applied per-op and in one implicit final checkpoint:
+
+    - session cost/position/rounds ≡ batch [Engine.run] on the prefix,
+      bitwise;
+    - cached offline optimum ≡ a cold [Line_dp] recompute, bitwise —
+      including immediately after injected disk faults;
+    - lazy-metric distances ≡ the dense closure, bitwise;
+    - invalid rounds raise [Invalid_argument] and leave the session
+      untouched;
+    - fleet and pool replays of the prefix reproduce the live session
+      bit for bit (the pool replay includes a submit-after-shutdown
+      batch, pinning {!Exec.Pool}'s caller-runs contract).
+
+    A run is a pure function of [(seed, ops, inject_bug)]: every PRNG
+    is a {!Prng.Stream} derived from the seed, the disk store starts
+    empty, and all process-global state it touches (cache contents,
+    disk directory, fault arms) is restored on exit.  {!result_to_string}
+    of two runs with equal inputs is byte-identical — the determinism
+    contract [msp simtest] and the shrinker rely on. *)
+
+type outcome =
+  | Pass
+  | Fail of {
+      index : int;  (** 0-based position in the op list. *)
+      op : Op.op option;  (** [None] for the implicit final checkpoint. *)
+      reason : string;
+    }
+
+type result = {
+  outcome : outcome;
+  ops_run : int;  (** Ops fully executed before a failure (or all). *)
+  checks : int;  (** Oracle comparisons performed. *)
+  faults_armed : int;  (** Disk faults injected. *)
+  quarantined : int;  (** Corrupt disk entries removed during the run. *)
+}
+
+val graph_nodes : int
+(** Node count of the harness graph; {!Op.gen}'s [~graph_nodes]. *)
+
+val gen_ops : ?weights:Op.weights -> seed:int -> count:int -> unit -> Op.op list
+(** The op list for a seed — pure: same [(weights, seed, count)] gives
+    the same list.  [run ~seed ~count] executes exactly this list. *)
+
+val run_ops : ?inject_bug:bool -> seed:int -> Op.op list -> result
+(** Execute an explicit op list ([--replay] and the shrinker's
+    predicate).  [inject_bug] plants a deliberate defect — the session
+    is fed all but the last request of every multi-request round while
+    the prefix records the full round — so tests can watch the oracle
+    catch it and the shrinker minimize it. *)
+
+val run :
+  ?inject_bug:bool -> ?weights:Op.weights -> seed:int -> count:int -> unit ->
+  result
+(** [run_ops] over [gen_ops]. *)
+
+val fails : ?inject_bug:bool -> seed:int -> Op.op list -> bool
+(** [run_ops] collapsed to "did it fail?" — the {!Shrink.minimize}
+    predicate. *)
+
+val result_to_string : result -> string
+(** Stable multi-line rendering; equal inputs give equal bytes. *)

@@ -1,0 +1,237 @@
+type bad_request = Dim_mismatch | Non_finite
+
+type corruption = Offline.Opt_cache.Faults.read_corruption =
+  | Sys_err
+  | Truncate
+  | Garbage
+
+type op =
+  | Step of float array array
+  | Bad_step of bad_request
+  | Reset
+  | Checkpoint
+  | Opt_query
+  | Cache_evict
+  | Cache_clear
+  | Disk_write_fail
+  | Disk_read_corrupt of corruption
+  | Metric_query of int * int
+  | Metric_invalidate
+  | Fleet_check of int
+  | Concurrent_step of int
+
+type weights = {
+  step : float;
+  bad_step : float;
+  reset : float;
+  checkpoint : float;
+  opt_query : float;
+  cache_evict : float;
+  cache_clear : float;
+  disk_write_fail : float;
+  disk_read_corrupt : float;
+  metric_query : float;
+  metric_invalidate : float;
+  fleet_check : float;
+  concurrent_step : float;
+}
+
+let default_weights =
+  {
+    step = 0.50;
+    bad_step = 0.04;
+    reset = 0.04;
+    checkpoint = 0.05;
+    opt_query = 0.05;
+    cache_evict = 0.03;
+    cache_clear = 0.04;
+    disk_write_fail = 0.03;
+    disk_read_corrupt = 0.04;
+    metric_query = 0.10;
+    metric_invalidate = 0.02;
+    fleet_check = 0.04;
+    concurrent_step = 0.02;
+  }
+
+(* --- generation ------------------------------------------------------ *)
+
+(* The request arena: 1-D coordinates within ±[arena], wide enough that
+   the movement budget m = 1 binds (clamping and DP windows are
+   exercised), narrow enough that the line-DP grid stays small. *)
+let arena = 8.0
+
+let gen_round g =
+  let n = Prng.Xoshiro.next_below g 4 in
+  Array.init n (fun _ -> [| Prng.Dist.uniform g ~lo:(-.arena) ~hi:arena |])
+
+let categories w =
+  [|
+    w.step;
+    w.bad_step;
+    w.reset;
+    w.checkpoint;
+    w.opt_query;
+    w.cache_evict;
+    w.cache_clear;
+    w.disk_write_fail;
+    w.disk_read_corrupt;
+    w.metric_query;
+    w.metric_invalidate;
+    w.fleet_check;
+    w.concurrent_step;
+  |]
+
+let gen ~graph_nodes w g =
+  let cats = categories w in
+  let total = Array.fold_left ( +. ) 0.0 cats in
+  if not (total > 0.0) then invalid_arg "Simtest.Op.gen: weights sum to 0";
+  let x = Prng.Dist.uniform g ~lo:0.0 ~hi:total in
+  let pick = ref 0 in
+  let acc = ref 0.0 in
+  (try
+     Array.iteri
+       (fun i wi ->
+         acc := !acc +. wi;
+         if x < !acc then begin
+           pick := i;
+           raise Exit
+         end)
+       cats
+   with Exit -> ());
+  match !pick with
+  | 0 -> Step (gen_round g)
+  | 1 -> Bad_step (if Prng.Dist.fair_coin g then Dim_mismatch else Non_finite)
+  | 2 -> Reset
+  | 3 -> Checkpoint
+  | 4 -> Opt_query
+  | 5 -> Cache_evict
+  | 6 -> Cache_clear
+  | 7 -> Disk_write_fail
+  | 8 ->
+    Disk_read_corrupt
+      (match Prng.Xoshiro.next_below g 3 with
+       | 0 -> Sys_err
+       | 1 -> Truncate
+       | _ -> Garbage)
+  | 9 ->
+    let u = Prng.Xoshiro.next_below g graph_nodes in
+    let v = Prng.Xoshiro.next_below g graph_nodes in
+    Metric_query (u, v)
+  | 10 -> Metric_invalidate
+  | 11 -> Fleet_check (2 + Prng.Xoshiro.next_below g 3)
+  | _ -> Concurrent_step (2 + Prng.Xoshiro.next_below g 5)
+
+(* --- serialization --------------------------------------------------- *)
+
+(* Floats travel as the hex of their IEEE-754 bits (the same convention
+   as the opt-cache disk store): parsing recovers the exact bit
+   pattern, so a replayed op list is byte-identical to the original. *)
+let float_to_hex x = Printf.sprintf "%016Lx" (Int64.bits_of_float x)
+
+let float_of_hex s =
+  if String.length s <> 16 then Error (Printf.sprintf "bad float %S" s)
+  else
+    match Int64.of_string ("0x" ^ s) with
+    | exception Failure _ -> Error (Printf.sprintf "bad float %S" s)
+    | bits -> Ok (Int64.float_of_bits bits)
+
+let corruption_to_string = function
+  | Sys_err -> "sys-error"
+  | Truncate -> "truncate"
+  | Garbage -> "garbage"
+
+let to_string = function
+  | Step requests ->
+    let req v =
+      String.concat "," (Array.to_list (Array.map float_to_hex v))
+    in
+    let body = String.concat ";" (Array.to_list (Array.map req requests)) in
+    if body = "" then "step" else "step " ^ body
+  | Bad_step Dim_mismatch -> "bad-step dim"
+  | Bad_step Non_finite -> "bad-step nan"
+  | Reset -> "reset"
+  | Checkpoint -> "checkpoint"
+  | Opt_query -> "opt-query"
+  | Cache_evict -> "cache-evict"
+  | Cache_clear -> "cache-clear"
+  | Disk_write_fail -> "disk-write-fail"
+  | Disk_read_corrupt c -> "disk-read-corrupt " ^ corruption_to_string c
+  | Metric_query (u, v) -> Printf.sprintf "metric-query %d %d" u v
+  | Metric_invalidate -> "metric-invalidate"
+  | Fleet_check k -> Printf.sprintf "fleet-check %d" k
+  | Concurrent_step k -> Printf.sprintf "concurrent-step %d" k
+
+let ( let* ) = Result.bind
+
+let parse_request s =
+  let coords = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | c :: rest ->
+      let* x = float_of_hex c in
+      go (x :: acc) rest
+  in
+  go [] coords
+
+let parse_round s =
+  if s = "" then Ok [||]
+  else
+    let reqs = String.split_on_char ';' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | r :: rest ->
+        let* v = parse_request r in
+        go (v :: acc) rest
+    in
+    go [] reqs
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let of_string line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  match (word, rest) with
+  | "step", body -> Result.map (fun r -> Step r) (parse_round body)
+  | "bad-step", "dim" -> Ok (Bad_step Dim_mismatch)
+  | "bad-step", "nan" -> Ok (Bad_step Non_finite)
+  | "reset", "" -> Ok Reset
+  | "checkpoint", "" -> Ok Checkpoint
+  | "opt-query", "" -> Ok Opt_query
+  | "cache-evict", "" -> Ok Cache_evict
+  | "cache-clear", "" -> Ok Cache_clear
+  | "disk-write-fail", "" -> Ok Disk_write_fail
+  | "disk-read-corrupt", "sys-error" -> Ok (Disk_read_corrupt Sys_err)
+  | "disk-read-corrupt", "truncate" -> Ok (Disk_read_corrupt Truncate)
+  | "disk-read-corrupt", "garbage" -> Ok (Disk_read_corrupt Garbage)
+  | "metric-query", uv ->
+    (match String.split_on_char ' ' uv with
+     | [ u; v ] ->
+       let* u = parse_int u in
+       let* v = parse_int v in
+       Ok (Metric_query (u, v))
+     | _ -> Error (Printf.sprintf "bad metric-query operands %S" uv))
+  | "metric-invalidate", "" -> Ok Metric_invalidate
+  | "fleet-check", k -> Result.map (fun k -> Fleet_check k) (parse_int k)
+  | "concurrent-step", k ->
+    Result.map (fun k -> Concurrent_step k) (parse_int k)
+  | _ -> Error (Printf.sprintf "unknown op %S" line)
+
+(* --- shrinking-time simplification ----------------------------------- *)
+
+let simplify = function
+  | Step requests when Array.length requests > 0 ->
+    (* Candidates ordered smallest first, so the shrinker lands on the
+       shortest still-failing round. *)
+    List.init (Array.length requests) (fun n -> Step (Array.sub requests 0 n))
+  | Fleet_check k when k > 2 -> [ Fleet_check 2 ]
+  | Concurrent_step k when k > 2 -> [ Concurrent_step 2 ]
+  | _ -> []

@@ -1,0 +1,93 @@
+(** The simulation-testing op language.
+
+    An op is one action against the system under test — the incremental
+    {!Mobile_server.Engine.Session}, the {!Multi.Fleet_engine}, the
+    {!Offline.Opt_cache} (memory + disk store) and the
+    {!Network.Dijkstra} lazy metric.  A simtest run is a pure function
+    of [(seed, weights, count)]: ops are drawn from {!Prng.Stream}
+    substreams with the weighted distribution below, so the same seed
+    always yields the same op list — and a failing list serializes to a
+    replayable artifact (see {!Replay} and [docs/simtest.md]). *)
+
+type bad_request =
+  | Dim_mismatch  (** A request of the wrong dimension. *)
+  | Non_finite  (** A request with a NaN coordinate. *)
+
+type corruption = Offline.Opt_cache.Faults.read_corruption =
+  | Sys_err
+  | Truncate
+  | Garbage  (** Re-exported so op lists name disk faults directly. *)
+
+type op =
+  | Step of float array array
+      (** Feed one round of requests (1-D points) to the live session
+          and record it in the batch-replay prefix. *)
+  | Bad_step of bad_request
+      (** Feed an invalid round: must raise [Invalid_argument] and
+          leave the session bit-for-bit unchanged. *)
+  | Reset
+      (** Verify the prefix oracle, then open a fresh session
+          (generation + 1) with an empty prefix. *)
+  | Checkpoint
+      (** Full oracle sweep: session ≡ batch [Engine.run] on the
+          prefix, cached OPT ≡ cold recompute, lazy metric ≡ dense. *)
+  | Opt_query
+      (** Cached offline optimum of the prefix ≡ a cold (cache-free)
+          recompute, bitwise. *)
+  | Cache_evict
+      (** Force the {!Offline.Opt_cache} LRU down to one entry. *)
+  | Cache_clear  (** Drop every in-memory cache entry. *)
+  | Disk_write_fail
+      (** Arm the next disk-store write to fail ([Sys_error]). *)
+  | Disk_read_corrupt of corruption
+      (** Arm the next disk-store read to hit a corrupt entry. *)
+  | Metric_query of int * int
+      (** Lazy-metric distance ≡ dense closure, bitwise. *)
+  | Metric_invalidate
+      (** Drop the lazy metric's row cache (a simulated crash); later
+          queries must still match the dense oracle. *)
+  | Fleet_check of int
+      (** Replay the prefix through a [k]-server fleet twice with
+          identically seeded PRNGs: runs must agree bitwise. *)
+  | Concurrent_step of int
+      (** Replay the prefix on [k] fresh sessions fanned out over a
+          private {!Exec.Pool} (including a submit-after-shutdown
+          batch): every replica must equal the live session bitwise. *)
+
+(** Relative draw weights for {!gen}; they need not sum to 1. *)
+type weights = {
+  step : float;
+  bad_step : float;
+  reset : float;
+  checkpoint : float;
+  opt_query : float;
+  cache_evict : float;
+  cache_clear : float;
+  disk_write_fail : float;
+  disk_read_corrupt : float;
+  metric_query : float;
+  metric_invalidate : float;
+  fleet_check : float;
+  concurrent_step : float;
+}
+
+val default_weights : weights
+(** Step-heavy mix with a few percent of every fault and cross-check. *)
+
+val gen : graph_nodes:int -> weights -> Prng.Xoshiro.t -> op
+(** [gen ~graph_nodes weights g] draws one op.  Consumes a bounded,
+    category-dependent number of PRNG values, so an op sequence is a
+    pure function of the generator state. *)
+
+val to_string : op -> string
+(** One-line textual form; floats travel as IEEE-754 bits in hex, so
+    parsing is bit-lossless. *)
+
+val of_string : string -> (op, string) result
+(** Inverse of {!to_string}; [Error] names the offending token. *)
+
+val simplify : op -> op list
+(** Strictly simpler candidate replacements for one op (fewer requests
+    in a round, smaller fan-outs), tried by the shrinker after list
+    minimization.  The result never contains the op itself, and every
+    candidate is strictly smaller, so simplification terminates. *)

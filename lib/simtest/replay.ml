@@ -1,0 +1,61 @@
+let magic = "msp-simtest-replay-v1"
+
+let to_string ~seed ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" seed);
+  Buffer.add_string buf (Printf.sprintf "ops %d\n" (List.length ops));
+  List.iter
+    (fun op ->
+      Buffer.add_string buf (Op.to_string op);
+      Buffer.add_char buf '\n')
+    ops;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) ->
+           line <> "" && not (String.length line > 0 && line.[0] = '#'))
+  in
+  let fail lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let field name (lineno, line) =
+    let prefix = name ^ " " in
+    let plen = String.length prefix in
+    if String.length line > plen && String.sub line 0 plen = prefix then
+      match int_of_string_opt (String.sub line plen (String.length line - plen))
+      with
+      | Some n -> Ok n
+      | None -> fail lineno (Printf.sprintf "bad %s value" name)
+    else fail lineno (Printf.sprintf "expected %S header" name)
+  in
+  match lines with
+  | [] -> Error "empty replay file"
+  | (lineno, first) :: rest ->
+    if first <> magic then fail lineno (Printf.sprintf "expected %S" magic)
+    else begin
+      match rest with
+      | seed_line :: count_line :: op_lines ->
+        let* seed = field "seed" seed_line in
+        let* count = field "ops" count_line in
+        let* ops =
+          List.fold_left
+            (fun acc (lineno, line) ->
+              let* acc = acc in
+              match Op.of_string line with
+              | Ok op -> Ok (op :: acc)
+              | Error msg -> fail lineno msg)
+            (Ok []) op_lines
+        in
+        let ops = List.rev ops in
+        if List.length ops <> count then
+          Error
+            (Printf.sprintf "ops header says %d but file lists %d" count
+               (List.length ops))
+        else Ok (seed, ops)
+      | _ -> Error "truncated replay file (missing seed/ops headers)"
+    end

@@ -1,0 +1,30 @@
+(** Replayable failure artifacts.
+
+    A minimized failing run serializes to a small text file:
+
+    {v
+    msp-simtest-replay-v1
+    seed 42
+    ops 3
+    step 4010000000000000
+    disk-read-corrupt garbage
+    opt-query
+    v}
+
+    The header records the originating seed (for provenance — replay
+    re-derives the harness PRNG streams from it, so fleet replays and
+    request noise match the original run), [ops N] is a length check,
+    and each remaining line is one {!Op.op} in {!Op.to_string} form.
+    Blank lines and [#]-comments are ignored on parse, so artifacts can
+    be annotated by hand.  [msp simtest --replay FILE] re-executes the
+    listed ops verbatim instead of generating from the seed. *)
+
+val magic : string
+(** First line of every artifact: ["msp-simtest-replay-v1"]. *)
+
+val to_string : seed:int -> Op.op list -> string
+(** Render an artifact, trailing newline included. *)
+
+val of_string : string -> (int * Op.op list, string) result
+(** Parse an artifact back into [(seed, ops)].  [Error] pinpoints the
+    offending line (1-based) for hand-edited files. *)

@@ -1,0 +1,75 @@
+(* ddmin (Zeller & Hildebrandt, "Simplifying and isolating
+   failure-inducing input"): partition the list into n chunks, try
+   removing each chunk (complement testing); on success recurse on the
+   smaller list, otherwise double the granularity.  Finishes with a
+   one-minimal sweep so the guarantee "dropping any single op passes"
+   holds even on inputs where chunk arithmetic skipped a candidate. *)
+
+let remove_span xs lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) xs
+
+let ddmin fails xs =
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec try_complements lo =
+        if lo >= len then None
+        else begin
+          let candidate = remove_span xs lo (min chunk (len - lo)) in
+          if candidate <> [] && fails candidate then Some candidate
+          else try_complements (lo + chunk)
+        end
+      in
+      match try_complements 0 with
+      | Some smaller -> go smaller (max 2 (n - 1))
+      | None -> if chunk <= 1 then xs else go xs (min len (2 * n))
+    end
+  in
+  let rec one_minimal xs =
+    let len = List.length xs in
+    let rec try_single i =
+      if i >= len then None
+      else begin
+        let candidate = remove_span xs i 1 in
+        if candidate <> [] && fails candidate then Some candidate
+        else try_single (i + 1)
+      end
+    in
+    match try_single 0 with
+    | Some smaller -> one_minimal smaller
+    | None -> xs
+  in
+  if not (fails xs) then xs else one_minimal (go xs 2)
+
+(* Replace op [i] by each simpler candidate in turn, keeping the first
+   replacement that still fails; repeat until no op can be simplified.
+   Every candidate is strictly smaller (Op.simplify's contract), so
+   the loop terminates. *)
+let simplify_ops fails xs =
+  let rec pass xs =
+    let changed = ref false in
+    let xs =
+      List.mapi
+        (fun i op ->
+          if !changed then op
+          else
+            match
+              List.find_opt
+                (fun candidate ->
+                  fails
+                    (List.mapi (fun j o -> if j = i then candidate else o) xs))
+                (Op.simplify op)
+            with
+            | Some candidate ->
+              changed := true;
+              candidate
+            | None -> op)
+        xs
+    in
+    if !changed then pass xs else xs
+  in
+  pass xs
+
+let minimize ~fails xs = simplify_ops fails (ddmin fails xs)

@@ -1,0 +1,23 @@
+(** Delta-debugging minimization of failing op sequences.
+
+    Given a deterministic predicate [fails] (replay the ops, report
+    whether the run fails) and a failing list, {!minimize} returns a
+    sublist that still fails and is {e locally minimal}: removing any
+    single remaining op, or applying any {!Op.simplify} candidate to
+    any remaining op, makes the run pass.  The classic ddmin chunk
+    schedule (Zeller & Hildebrandt) removes large spans first, so a
+    2000-op failure typically collapses in a few dozen replays.
+
+    The predicate must be a pure function of the op list — which
+    {!Harness.run_ops} is, by construction — or minimization is
+    meaningless.  Any failure counts: if shrinking trips a {e different}
+    bug along the way, the minimized list reproduces that one, which is
+    still a genuine, smaller repro. *)
+
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+(** [ddmin fails xs] with [fails xs = true]: a sublist on which [fails]
+    still holds and which removing any single element breaks.  Calls
+    [fails] O(n²) times in the worst case, O(n log n) typically. *)
+
+val minimize : fails:(Op.op list -> bool) -> Op.op list -> Op.op list
+(** {!ddmin} followed by per-op {!Op.simplify} passes to a fixpoint. *)
