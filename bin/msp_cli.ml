@@ -9,6 +9,10 @@
                                    auditor (feasibility, NaN, determinism)
      msp experiment <id> ...       a catalog experiment (e1..e10, t1, a1..a2,
                                    x1, b1)
+     msp simtest ...               seeded simulation testing: random op
+                                   sequences + fault injection, oracled
+                                   against batch replays; failures shrink
+                                   to replayable artifacts
 
    Examples:
      dune exec bin/msp_cli.exe -- run --algorithm mtc --workload clusters \
@@ -464,6 +468,87 @@ let lint_cmd =
              tools/lint/msp_lint) over the source trees.")
     Term.(term_result (const action $ verbose $ json $ sarif $ roots))
 
+(* --- simtest --------------------------------------------------------- *)
+
+let simtest_cmd =
+  let ops_count =
+    Arg.(value & opt int 1000
+         & info [ "ops" ] ~docv:"N"
+             ~doc:"Number of ops to generate from the seed.")
+  in
+  let replay_file =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a recorded artifact instead of generating ops \
+                   from the seed.")
+  in
+  let out_file =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the shrunk repro artifact on failure \
+                   (default: simtest-repro-SEED.txt).")
+  in
+  let inject_bug =
+    Arg.(value & flag
+         & info [ "inject-bug" ]
+             ~doc:"Plant a deliberate session bug, then catch and shrink \
+                   it — a self-test of the oracle and the shrinker.")
+  in
+  let report r = print_string (Simtest.Harness.result_to_string r) in
+  let action () seed ops_count replay_file out_file inject_bug =
+    match replay_file with
+    | Some path ->
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      (match Simtest.Replay.of_string text with
+       | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
+       | Ok (seed, ops) ->
+         let r = Simtest.Harness.run_ops ~inject_bug ~seed ops in
+         report r;
+         (match r.Simtest.Harness.outcome with
+          | Simtest.Harness.Pass -> Ok ()
+          | Simtest.Harness.Fail _ ->
+            Error (`Msg "simtest replay failed (see verdict above)")))
+    | None ->
+      let ops = Simtest.Harness.gen_ops ~seed ~count:ops_count () in
+      let r = Simtest.Harness.run_ops ~inject_bug ~seed ops in
+      report r;
+      (match r.Simtest.Harness.outcome with
+       | Simtest.Harness.Pass -> Ok ()
+       | Simtest.Harness.Fail _ ->
+         (* Shrink before reporting: the artifact is the deliverable —
+            a locally minimal op list that still fails, replayable
+            with --replay. *)
+         let fails = Simtest.Harness.fails ~inject_bug ~seed in
+         let minimal = Simtest.Shrink.minimize ~fails ops in
+         let out =
+           match out_file with
+           | Some f -> f
+           | None -> Printf.sprintf "simtest-repro-%d.txt" seed
+         in
+         let artifact = Simtest.Replay.to_string ~seed minimal in
+         Out_channel.with_open_bin out (fun oc ->
+             Out_channel.output_string oc artifact);
+         Printf.printf "shrunk to %d op(s), written to %s:\n%s"
+           (List.length minimal) out artifact;
+         Error
+           (`Msg
+              (Printf.sprintf
+                 "simtest failed at seed %d; replay with: msp simtest \
+                  --replay %s%s"
+                 seed out
+                 (if inject_bug then " --inject-bug" else ""))))
+  in
+  Cmd.v
+    (Cmd.info "simtest"
+       ~doc:"Deterministic simulation testing: generate a seeded op \
+             sequence (session steps, cache faults, metric queries, pool \
+             fan-outs), oracle every answer against batch replays and \
+             cold recomputes, and on failure shrink to a minimal \
+             replayable artifact.")
+    Term.(term_result
+            (const action $ verbose $ seed $ ops_count $ replay_file
+             $ out_file $ inject_bug))
+
 let () =
   let info =
     Cmd.info "msp" ~version:"1.0.0"
@@ -473,4 +558,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; plot_cmd; audit_cmd;
-            experiment_cmd; lint_cmd ]))
+            experiment_cmd; lint_cmd; simtest_cmd ]))
