@@ -27,6 +27,13 @@
                                                  byte-identity verdicts (JSON
                                                  to BENCH_network.json, or
                                                  --network-out PATH)
+     dune exec bench/main.exe -- serve        -- sharded session daemon under
+                                                 an open-world schedule at
+                                                 10k/100k live sessions, gated
+                                                 on serve = engine and
+                                                 jobs1 = jobsN byte-identity
+                                                 (JSON to BENCH_serve.json, or
+                                                 --serve-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -1185,6 +1192,129 @@ let run_network ~quick ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the sharded session daemon under an open-world schedule, at
+   two live-session scales.  Throughput and p99 step latency are
+   reported, but the numbers only count if the identity wall holds:
+   every served trajectory byte-identical to an in-process Engine.run
+   replay, and the jobs=1 reply stream byte-identical to jobs=N. *)
+
+let run_serve ~quick ~out () =
+  let jobs = max 2 (Exec.jobs ()) in
+  Printf.printf "\n=== SERVE: sharded session daemon, jobs=%d ===\n\n" jobs;
+  let config = MS.Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.5 () in
+  let dim = 2 in
+  let shards = 8 in
+  let ticks = 24 in
+  let lifetime = 16.0 in
+  let scales = if quick then [ 500; 2_000 ] else [ 10_000; 100_000 ] in
+  let measure scale =
+    (* initial = scale with arrivals balancing departures keeps the
+       live count pinned near [scale] for the whole horizon. *)
+    let schedule =
+      Workloads.Open_world.generate
+        ~arrival_rate:(float_of_int scale /. lifetime)
+        ~mean_lifetime:lifetime ~initial:scale ~dim ~seed:(41_000 + scale)
+        ~ticks ()
+    in
+    let serve ~jobs ~timed =
+      let daemon = Serve.Daemon.create ~shards ~jobs ~config () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Daemon.shutdown daemon)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let report =
+            if timed then
+              Serve.Driver.run ~now:Unix.gettimeofday daemon schedule
+            else Serve.Driver.run daemon schedule
+          in
+          (report, Unix.gettimeofday () -. t0))
+    in
+    let report_n, elapsed = serve ~jobs ~timed:true in
+    let report_1, _ = serve ~jobs:1 ~timed:false in
+    let steps_per_sec = float_of_int report_n.Serve.Driver.steps /. elapsed in
+    let p99_ms =
+      if Array.length report_n.Serve.Driver.latencies = 0 then 0.0
+      else 1e3 *. Stats.Quantile.quantile report_n.Serve.Driver.latencies 0.99
+    in
+    let identity_engine =
+      Serve.Driver.ok report_n && Serve.Driver.ok report_1
+    in
+    let identity_jobs =
+      String.equal report_n.Serve.Driver.reply_digest
+        report_1.Serve.Driver.reply_digest
+    in
+    List.iter
+      (fun m -> Printf.printf "  mismatch: %s\n" m)
+      (report_n.Serve.Driver.mismatches @ report_1.Serve.Driver.mismatches);
+    Printf.printf
+      "%7d live target: peak %7d, %9d steps, %10.0f steps/s, p99 %8.3f ms, \
+       serve=engine %b, jobs1=jobs%d %b\n%!"
+      scale report_n.Serve.Driver.peak_live report_n.Serve.Driver.steps
+      steps_per_sec p99_ms identity_engine jobs identity_jobs;
+    ( scale,
+      schedule,
+      report_n,
+      elapsed,
+      steps_per_sec,
+      p99_ms,
+      identity_engine,
+      identity_jobs )
+  in
+  let rows = List.map measure scales in
+  Tables.print
+    ~title:"serve daemon (sustained, identity-gated)"
+    (Tables.create
+       ~aligns:[ Tables.Right; Tables.Right; Tables.Right; Tables.Right ]
+       ~header:[ "live sessions"; "steps"; "steps/sec"; "p99 (ms)" ]
+       (List.map
+          (fun (scale, _, r, _, sps, p99, _, _) ->
+            [ Printf.sprintf "%d" scale;
+              Printf.sprintf "%d" r.Serve.Driver.steps;
+              Tables.cell sps; Tables.cell p99 ])
+          rows));
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-serve-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"shards\": %d,\n" shards);
+  Buffer.add_string buf (Printf.sprintf "  \"dim\": %d,\n" dim);
+  Buffer.add_string buf (Printf.sprintf "  \"ticks\": %d,\n" ticks);
+  Buffer.add_string buf "  \"scales\": [\n";
+  List.iteri
+    (fun i (scale, schedule, r, elapsed, sps, p99, id_engine, id_jobs) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"live_target\": %d, \"peak_live\": %d, \"sessions\": %d, \
+            \"steps\": %d, \"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, \
+            \"p99_latency_ms\": %.6g, \"schedule_fingerprint\": %S, \
+            \"identity_serve_vs_engine\": %b, \"identity_jobs1_vs_jobsN\": \
+            %b}%s\n"
+           scale r.Serve.Driver.peak_live r.Serve.Driver.sessions
+           r.Serve.Driver.steps elapsed sps p99
+           (Workloads.Open_world.fingerprint schedule)
+           id_engine id_jobs
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "serve report written to %s\n" out;
+  if
+    not
+      (List.for_all
+         (fun (_, _, _, _, _, _, id_engine, id_jobs) -> id_engine && id_jobs)
+         rows)
+  then begin
+    prerr_endline
+      "FATAL: serve daemon output is not byte-identical to the in-process \
+       engine (or jobs=1 differs from jobs=N)";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling: run a few multi-seed experiments at jobs=1 and at
    the requested jobs count, check the reports are byte-identical (the
    Exec determinism contract), and record wall-clock per experiment. *)
@@ -1250,6 +1380,7 @@ let () =
   let hotpath_out = ref "BENCH_hotpath.json" in
   let solver_out = ref "BENCH_solver.json" in
   let network_out = ref "BENCH_network.json" in
+  let serve_out = ref "BENCH_serve.json" in
   let golden_path = ref Experiments.Golden.golden_path in
   let rec strip = function
     | [] -> []
@@ -1276,6 +1407,9 @@ let () =
     | "--network-out" :: path :: rest ->
       network_out := path;
       strip rest
+    | "--serve-out" :: path :: rest ->
+      serve_out := path;
+      strip rest
     | "--golden" :: path :: rest ->
       golden_path := path;
       strip rest
@@ -1296,6 +1430,7 @@ let () =
          run_hotpath ~quick ~out:!hotpath_out ~golden:!golden_path ()
        | "solver" -> run_solver ~quick ~out:!solver_out ()
        | "network" -> run_network ~quick ~out:!network_out ()
+       | "serve" -> run_serve ~quick ~out:!serve_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

@@ -9,8 +9,14 @@
                                    auditor (feasibility, NaN, determinism)
      msp experiment <id> ...       a catalog experiment (e1..e10, t1, a1..a2,
                                    x1, b1)
+     msp serve ...                 the sharded session-serving daemon over
+                                   a seeded open-world schedule, verified
+                                   bit-for-bit against in-process replays
+                                   (--audit adds per-session invariant
+                                   audits)
      msp simtest ...               seeded simulation testing: random op
-                                   sequences + fault injection, oracled
+                                   sequences + fault injection (including
+                                   serve-daemon shard kills), oracled
                                    against batch replays; failures shrink
                                    to replayable artifacts
 
@@ -468,6 +474,130 @@ let lint_cmd =
              tools/lint/msp_lint) over the source trees.")
     Term.(term_result (const action $ verbose $ json $ sarif $ roots))
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let sessions =
+    Arg.(value & opt int 1000
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Target live-session count: $(docv) sessions are open at \
+                   tick 0 and Poisson arrivals balance departures.")
+  in
+  let ticks =
+    Arg.(value & opt int 24
+         & info [ "ticks" ] ~docv:"T"
+             ~doc:"Schedule horizon in ticks; every session closes within \
+                   it.")
+  in
+  let lifetime =
+    Arg.(value & opt float 16.0
+         & info [ "lifetime" ] ~docv:"L"
+             ~doc:"Mean session lifetime in ticks (exponential).")
+  in
+  let shards =
+    Arg.(value & opt int 8
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Daemon shard count; sessions hash to shards and each \
+                   shard owns its sessions exclusively.")
+  in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Additionally run every served session's instance under \
+                   the invariant auditor and fail unless every report is \
+                   clean.")
+  in
+  let action () () config sessions ticks lifetime shards dim seed audit =
+    let schedule =
+      try
+        Ok
+          (Workloads.Open_world.generate
+             ~arrival_rate:(float_of_int sessions /. lifetime)
+             ~mean_lifetime:lifetime ~initial:sessions ~dim ~seed ~ticks ())
+      with Invalid_argument msg -> Error (`Msg msg)
+    in
+    Result.bind schedule (fun schedule ->
+        let daemon =
+          try Ok (Serve.Daemon.create ~shards ~config ())
+          with Invalid_argument msg -> Error (`Msg msg)
+        in
+        Result.bind daemon (fun daemon ->
+            let t0 = Unix.gettimeofday () in
+            let report =
+              Fun.protect
+                ~finally:(fun () -> Serve.Daemon.shutdown daemon)
+                (fun () ->
+                  Serve.Driver.run ~now:Unix.gettimeofday daemon schedule)
+            in
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Printf.printf
+              "schedule : %d sessions over %d ticks (peak %d live), \
+               fingerprint %s\n"
+              (Workloads.Open_world.sessions schedule)
+              ticks
+              (Workloads.Open_world.peak_live schedule)
+              (Workloads.Open_world.fingerprint schedule);
+            Printf.printf "served   : %d sessions, %d steps in %.2fs \
+                           (%.0f steps/s)\n"
+              report.Serve.Driver.sessions report.Serve.Driver.steps elapsed
+              (float_of_int report.Serve.Driver.steps
+              /. Float.max 1e-9 elapsed);
+            if Array.length report.Serve.Driver.latencies > 0 then
+              Printf.printf "latency  : p50 %.3f ms, p99 %.3f ms\n"
+                (1e3
+                *. Stats.Quantile.quantile report.Serve.Driver.latencies 0.5)
+                (1e3
+                *. Stats.Quantile.quantile report.Serve.Driver.latencies 0.99);
+            Printf.printf "identity : serve = engine replay %b\n"
+              (Serve.Driver.ok report);
+            List.iter
+              (fun m -> Printf.printf "mismatch : %s\n" m)
+              report.Serve.Driver.mismatches;
+            let audit_bad =
+              if not audit then 0
+              else begin
+                let plans = Workloads.Open_world.plans schedule in
+                let clean =
+                  Exec.map
+                    (fun plan ->
+                      let r, _run =
+                        Analysis.Audit.run ~seed:plan.Workloads.Open_world.seed
+                          config MS.Mtc.algorithm
+                          (Workloads.Open_world.plan_instance schedule plan)
+                      in
+                      Analysis.Report.ok r)
+                    plans
+                in
+                let bad =
+                  Array.fold_left
+                    (fun acc ok -> if ok then acc else acc + 1)
+                    0 clean
+                in
+                Printf.printf "audit    : %d sessions audited, %d dirty \
+                               report(s)\n"
+                  (Array.length plans) bad;
+                bad
+              end
+            in
+            if not (Serve.Driver.ok report) then
+              Error (`Msg "serve output diverged from the in-process engine")
+            else if audit_bad > 0 then
+              Error
+                (`Msg
+                   (Printf.sprintf "audit found %d dirty report(s)" audit_bad))
+            else Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sharded session-serving daemon over a seeded \
+             open-world schedule (Poisson arrivals, exponential \
+             lifetimes), verify every served trajectory bit-for-bit \
+             against an in-process engine replay, and report throughput \
+             and step latency.")
+    Term.(term_result
+            (const action $ verbose $ jobs_setup $ config_term $ sessions
+             $ ticks $ lifetime $ shards $ dim $ seed $ audit))
+
 (* --- simtest --------------------------------------------------------- *)
 
 let simtest_cmd =
@@ -494,15 +624,26 @@ let simtest_cmd =
              ~doc:"Plant a deliberate session bug, then catch and shrink \
                    it — a self-test of the oracle and the shrinker.")
   in
+  let inject_audit_bug =
+    Arg.(value & flag
+         & info [ "inject-audit-bug" ]
+             ~doc:"Audit a deliberately budget-violating algorithm: the \
+                   audit oracle must flag the clamped proposals and the \
+                   failure must shrink — a self-test of the audit \
+                   surface.")
+  in
   let report r = print_string (Simtest.Harness.result_to_string r) in
-  let action () seed ops_count replay_file out_file inject_bug =
+  let action () seed ops_count replay_file out_file inject_bug
+      inject_audit_bug =
     match replay_file with
     | Some path ->
       let text = In_channel.with_open_bin path In_channel.input_all in
       (match Simtest.Replay.of_string text with
        | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
        | Ok (seed, ops) ->
-         let r = Simtest.Harness.run_ops ~inject_bug ~seed ops in
+         let r =
+           Simtest.Harness.run_ops ~inject_bug ~inject_audit_bug ~seed ops
+         in
          report r;
          (match r.Simtest.Harness.outcome with
           | Simtest.Harness.Pass -> Ok ()
@@ -510,7 +651,9 @@ let simtest_cmd =
             Error (`Msg "simtest replay failed (see verdict above)")))
     | None ->
       let ops = Simtest.Harness.gen_ops ~seed ~count:ops_count () in
-      let r = Simtest.Harness.run_ops ~inject_bug ~seed ops in
+      let r =
+        Simtest.Harness.run_ops ~inject_bug ~inject_audit_bug ~seed ops
+      in
       report r;
       (match r.Simtest.Harness.outcome with
        | Simtest.Harness.Pass -> Ok ()
@@ -518,7 +661,7 @@ let simtest_cmd =
          (* Shrink before reporting: the artifact is the deliverable —
             a locally minimal op list that still fails, replayable
             with --replay. *)
-         let fails = Simtest.Harness.fails ~inject_bug ~seed in
+         let fails = Simtest.Harness.fails ~inject_bug ~inject_audit_bug ~seed in
          let minimal = Simtest.Shrink.minimize ~fails ops in
          let out =
            match out_file with
@@ -536,7 +679,8 @@ let simtest_cmd =
                  "simtest failed at seed %d; replay with: msp simtest \
                   --replay %s%s"
                  seed out
-                 (if inject_bug then " --inject-bug" else ""))))
+                 (if inject_bug then " --inject-bug" else "")
+               ^ (if inject_audit_bug then " --inject-audit-bug" else ""))))
   in
   Cmd.v
     (Cmd.info "simtest"
@@ -547,7 +691,7 @@ let simtest_cmd =
              replayable artifact.")
     Term.(term_result
             (const action $ verbose $ seed $ ops_count $ replay_file
-             $ out_file $ inject_bug))
+             $ out_file $ inject_bug $ inject_audit_bug))
 
 let () =
   let info =
@@ -558,4 +702,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; plot_cmd; audit_cmd;
-            experiment_cmd; lint_cmd; simtest_cmd ]))
+            experiment_cmd; lint_cmd; serve_cmd; simtest_cmd ]))

@@ -1,0 +1,170 @@
+module Engine = Mobile_server.Engine
+module Instance = Mobile_server.Instance
+module Cost = Mobile_server.Cost
+module Open_world = Workloads.Open_world
+
+type report = {
+  sessions : int;
+  steps : int;
+  errors : int;
+  peak_live : int;
+  latencies : float array;
+  mismatches : string list;
+  reply_digest : string;
+}
+
+let max_reported = 8
+
+let ok r = r.mismatches = [] && r.errors = 0
+
+let same_bits a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let same_vec a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if not (same_bits x b.(i)) then ok := false) a;
+      !ok)
+
+type session_state = {
+  plan : Open_world.plan;
+  inst : Instance.t;
+  mutable traj_rev : Geometry.Vec.t list;
+}
+
+type kind = K_open | K_step | K_close
+
+type pending = {
+  ticket : Daemon.ticket;
+  kind : kind;
+  p_id : int64;
+  t_submit : float;
+}
+
+let run ?now daemon schedule =
+  let states : (int64, session_state) Hashtbl.t = Hashtbl.create 1024 in
+  let sessions = ref 0 in
+  let steps = ref 0 in
+  let errors = ref 0 in
+  let peak_live = ref 0 in
+  let latencies = ref [] in
+  let mismatches = ref [] in
+  let mismatch_count = ref 0 in
+  (* Chained digest over every reply frame in submission order: cheap,
+     incremental, and equal iff the reply byte streams are identical. *)
+  let digest = ref (Digest.string "serve-reply-stream-v1") in
+  let clock = match now with Some f -> f | None -> fun () -> 0. in
+  let timing = now <> None in
+  let flag fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr mismatch_count;
+        if !mismatch_count <= max_reported then mismatches := s :: !mismatches)
+      fmt
+  in
+  let verify st ~rounds ~clamped_rounds ~position ~move ~service =
+    let id = st.plan.Open_world.id in
+    let replay =
+      Engine.run
+        ~rng:(Daemon.session_rng ~seed:st.plan.Open_world.seed)
+        (Daemon.config daemon) Mobile_server.Mtc.algorithm st.inst
+    in
+    let served = Array.of_list (List.rev st.traj_rev) in
+    if Array.length served <> Array.length replay.Engine.positions then
+      flag "session %Ld: served %d rounds, engine replay has %d" id
+        (Array.length served)
+        (Array.length replay.Engine.positions)
+    else
+      Array.iteri
+        (fun i p ->
+          if not (same_vec p replay.Engine.positions.(i)) then
+            flag "session %Ld: round %d position diverges from engine" id i)
+        served;
+    if rounds <> Array.length replay.Engine.positions then
+      flag "session %Ld: daemon says %d rounds, engine %d" id rounds
+        (Array.length replay.Engine.positions);
+    if clamped_rounds <> replay.Engine.clamped then
+      flag "session %Ld: daemon clamped %d rounds, engine %d" id
+        clamped_rounds replay.Engine.clamped;
+    if rounds >= 1
+       && rounds <= Array.length replay.Engine.positions
+       && not (same_vec position replay.Engine.positions.(rounds - 1))
+    then flag "session %Ld: final position diverges from engine" id;
+    if not (same_bits move replay.Engine.cost.Cost.move) then
+      flag "session %Ld: move cost %h diverges from engine %h" id move
+        replay.Engine.cost.Cost.move;
+    if not (same_bits service replay.Engine.cost.Cost.service) then
+      flag "session %Ld: service cost %h diverges from engine %h" id service
+        replay.Engine.cost.Cost.service
+  in
+  let handle (p : pending) =
+    let reply_bytes = Daemon.await daemon p.ticket in
+    digest := Digest.string (!digest ^ reply_bytes);
+    if timing && p.kind = K_step then
+      latencies := (clock () -. p.t_submit) :: !latencies;
+    match Frame.decode_reply reply_bytes with
+    | Error msg -> flag "undecodable reply for session %Ld: %s" p.p_id msg
+    | Ok (Frame.Error { session; code; message }) ->
+      incr errors;
+      flag "error reply for session %Ld: %s: %s" session
+        (Frame.error_code_to_string code)
+        message
+    | Ok (Frame.Opened _) -> ()
+    | Ok (Frame.Stepped { session; position; _ }) -> begin
+        incr steps;
+        match Hashtbl.find_opt states session with
+        | None -> flag "step reply for unknown session %Ld" session
+        | Some st -> st.traj_rev <- position :: st.traj_rev
+      end
+    | Ok (Frame.Snapshot _) -> ()
+    | Ok (Frame.Closed { session; rounds; clamped_rounds; position; move;
+                         service }) -> begin
+        match Hashtbl.find_opt states session with
+        | None -> flag "close reply for unknown session %Ld" session
+        | Some st ->
+          verify st ~rounds ~clamped_rounds ~position ~move ~service;
+          Hashtbl.remove states session
+      end
+  in
+  let tick_pending = ref [] in
+  let submit kind id frame =
+    let ticket = Daemon.submit daemon frame in
+    tick_pending :=
+      { ticket; kind; p_id = id; t_submit = clock () } :: !tick_pending
+  in
+  Open_world.iter schedule
+    ~open_:(fun p inst ->
+      incr sessions;
+      Hashtbl.replace states p.Open_world.id
+        { plan = p; inst; traj_rev = [] };
+      submit K_open p.Open_world.id
+        (Frame.encode_request
+           (Frame.Open
+              {
+                session = p.Open_world.id;
+                seed = p.Open_world.seed;
+                start = inst.Instance.start;
+              })))
+    ~step:(fun p ~round:_ requests ->
+      submit K_step p.Open_world.id
+        (Frame.encode_request
+           (Frame.Step { session = p.Open_world.id; requests })))
+    ~close:(fun p ->
+      submit K_close p.Open_world.id
+        (Frame.encode_request (Frame.Close { session = p.Open_world.id })))
+    ~tick_end:(fun ~tick:_ ->
+      let live = Daemon.live_sessions daemon in
+      if live > !peak_live then peak_live := live;
+      Daemon.flush daemon;
+      List.iter handle (List.rev !tick_pending);
+      tick_pending := []);
+  if Hashtbl.length states <> 0 then
+    flag "%d session(s) never closed" (Hashtbl.length states);
+  {
+    sessions = !sessions;
+    steps = !steps;
+    errors = !errors;
+    peak_live = !peak_live;
+    latencies = Array.of_list (List.rev !latencies);
+    mismatches = List.rev !mismatches;
+    reply_digest = Digest.to_hex !digest;
+  }

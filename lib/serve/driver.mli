@@ -1,0 +1,47 @@
+(** Drive an {!Workloads.Open_world} schedule through a {!Daemon} and
+    check the serve≡engine identity wall.
+
+    The driver is the single coordinating thread the daemon's API
+    expects: per tick it submits the tick's open/step/close frames (all
+    through the {!Frame} codec — the driver talks to the daemon only in
+    bytes), flushes, then decodes every reply.  For each session it
+    accumulates the served trajectory, and when the session closes it
+    replays the session's full instance through an in-process
+    {!Mobile_server.Engine.run} with the same PRNG
+    ({!Daemon.session_rng}) and compares {e bitwise}: every per-round
+    position, the cumulative move/service costs, the round and clamp
+    counts.  Any divergence is reported; [bench serve] turns it into a
+    non-zero exit.
+
+    Clocks are injected ([?now]) because this library must stay
+    wall-clock-free (the determinism-clock lint): the bench passes
+    [Unix.gettimeofday], tests pass nothing and get no latencies. *)
+
+type report = {
+  sessions : int;  (** Sessions opened (and, when [ok], closed). *)
+  steps : int;  (** Step replies received. *)
+  errors : int;  (** [Error] replies received (0 on a healthy run). *)
+  peak_live : int;  (** Daemon-reported live-session high-water mark. *)
+  latencies : float array;
+      (** Per-step submit→reply seconds, submission order; empty unless
+          [~now] was given.  Feed to {!Stats.Quantile.quantile}. *)
+  mismatches : string list;
+      (** Human-readable identity violations, capped at {!max_reported};
+          empty iff serve ≡ engine held bitwise for every session. *)
+  reply_digest : string;
+      (** Hex digest chained over every reply frame in submission
+          order.  Equal digests across daemons ⇒ byte-identical reply
+          streams; the jobs=1 ≡ jobs=N gate compares exactly this. *)
+}
+
+val max_reported : int
+(** Mismatch descriptions kept per run (the count still reflects all). *)
+
+val ok : report -> bool
+(** No mismatches, no error replies, every session closed. *)
+
+val run : ?now:(unit -> float) -> Daemon.t -> Workloads.Open_world.t -> report
+(** [run daemon schedule] serves the whole schedule and verifies every
+    session against [Engine.run] under {!Daemon.config} with the
+    daemon's session PRNG.  The daemon is left running (not shut
+    down), so a caller can serve several schedules back to back. *)

@@ -4,6 +4,8 @@ module Instance = Mobile_server.Instance
 module Cost = Mobile_server.Cost
 module Vec = Geometry.Vec
 module Opt_cache = Offline.Opt_cache
+module Frame = Serve.Frame
+module Daemon = Serve.Daemon
 
 type outcome =
   | Pass
@@ -47,7 +49,16 @@ let same_vec a b =
 let same_cost (a : Cost.breakdown) (b : Cost.breakdown) =
   same_bits a.move b.move && same_bits a.service b.service
 
+(* A daemon session's bit-exact in-process twin.  [r_dead] flips when a
+   journal-losing shard crash takes the session down: from then on the
+   daemon must answer [Unknown_session] for it, never stale state. *)
+type replica = {
+  mirror : Engine.Session.t;
+  mutable r_dead : bool;
+}
+
 type state = {
+  run_seed : int;
   session_base : Prng.Stream.t;
   fleet_base : Prng.Stream.t;
   mutable generation : int;
@@ -55,6 +66,11 @@ type state = {
   mutable prefix_rev : Vec.t array list;  (** Rounds fed, newest first. *)
   dense : Network.Dijkstra.metric;
   lazy_m : Network.Dijkstra.metric;
+  audit_alg : Mobile_server.Algorithm.t;
+  mutable daemon : Daemon.t option;  (** Created on the first serve op. *)
+  serve_replicas : (int64, replica) Hashtbl.t;
+  mutable serve_live : int64 list;  (** Live daemon sessions, open order. *)
+  mutable serve_next : int;  (** Session-id counter, never reused. *)
   mutable checks : int;
   mutable faults_armed : int;
 }
@@ -122,10 +138,302 @@ let check_metric st =
     done
   done
 
+(* --- the audit oracle ------------------------------------------------ *)
+
+(* The seeded audit defect: propose the round's first request outright,
+   ignoring the movement budget.  The engine's clamp keeps the run
+   legal, but the auditor sees the raw proposal and must flag
+   [Clamped_proposal] on any far-enough request. *)
+let teleport =
+  {
+    Mobile_server.Algorithm.name = "teleport";
+    make =
+      (fun ?rng:_ _config ~start ->
+        let last = ref (Vec.copy start) in
+        fun requests ->
+          if Array.length requests > 0 then last := Vec.copy requests.(0);
+          !last);
+  }
+
+let check_audit st =
+  if st.prefix_rev <> [] then begin
+    st.checks <- st.checks + 1;
+    let report, _run =
+      Analysis.Audit.run ~seed:st.run_seed config st.audit_alg
+        (prefix_instance st)
+    in
+    if not (Analysis.Report.ok report) then
+      check_failed "audit report not clean: %s"
+        (Analysis.Report.summary report)
+  end
+
+(* --- the serve-daemon oracle ----------------------------------------- *)
+
+(* Small on purpose: 3 shards at 2 workers exercises cross-shard
+   parallelism, and an 8-deep queue makes [submit]'s blocking-flush
+   backpressure path reachable from short op lists. *)
+let serve_shards = 3
+let serve_jobs = 2
+let serve_queue = 8
+
+let get_daemon st =
+  match st.daemon with
+  | Some d -> d
+  | None ->
+    let d =
+      Daemon.create ~shards:serve_shards ~jobs:serve_jobs
+        ~queue_capacity:serve_queue ~config ()
+    in
+    st.daemon <- Some d;
+    d
+
+let reply_kind = function
+  | Frame.Opened _ -> "opened"
+  | Frame.Stepped _ -> "stepped"
+  | Frame.Snapshot _ -> "snapshot"
+  | Frame.Closed _ -> "closed"
+  | Frame.Error { code; message; _ } ->
+    Printf.sprintf "error %s (%s)" (Frame.error_code_to_string code) message
+
+let serve_target st t =
+  match st.serve_live with
+  | [] -> None
+  | ids ->
+    let n = List.length ids in
+    Some (List.nth ids (((t mod n) + n) mod n))
+
+let drop_serve st id =
+  Hashtbl.remove st.serve_replicas id;
+  st.serve_live <- List.filter (fun x -> not (Int64.equal x id)) st.serve_live
+
+(* A session whose journal was lost must fail cleanly — a precise
+   [Unknown_session], not stale state — and then it is gone for good. *)
+let expect_unknown st d id ~what frame =
+  st.checks <- st.checks + 1;
+  match Frame.decode_reply (Daemon.call d frame) with
+  | Ok (Frame.Error { code = Frame.Unknown_session; session; _ })
+    when Int64.equal session id -> drop_serve st id
+  | Ok reply ->
+    check_failed "%s for lost session %Ld got %s, wanted unknown-session"
+      what id (reply_kind reply)
+  | Error msg -> check_failed "undecodable %s reply: %s" what msg
+
+let check_snapshot st id ~rounds ~clamped_rounds ~position ~move ~service =
+  let r = Hashtbl.find st.serve_replicas id in
+  let m = r.mirror in
+  if rounds <> Engine.Session.rounds m then
+    check_failed "session %Ld: daemon says %d rounds, mirror %d" id rounds
+      (Engine.Session.rounds m);
+  if clamped_rounds <> Engine.Session.clamped_count m then
+    check_failed "session %Ld: daemon clamped %d rounds, mirror %d" id
+      clamped_rounds
+      (Engine.Session.clamped_count m);
+  if not (same_vec position (Engine.Session.position m)) then
+    check_failed "session %Ld: served position diverges from mirror" id;
+  let c = Engine.Session.cost m in
+  if not (same_bits move c.Cost.move) then
+    check_failed "session %Ld: served move cost diverges from mirror" id;
+  if not (same_bits service c.Cost.service) then
+    check_failed "session %Ld: served service cost diverges from mirror" id
+
+let do_serve_open st =
+  st.checks <- st.checks + 1;
+  let d = get_daemon st in
+  let i = st.serve_next in
+  st.serve_next <- i + 1;
+  let id = Int64.of_int i in
+  let seed = Exec.derive_seed ~parent:st.run_seed i in
+  let reply =
+    Daemon.call d
+      (Frame.encode_request (Frame.Open { session = id; seed; start = [| 0.0 |] }))
+  in
+  match Frame.decode_reply reply with
+  | Ok (Frame.Opened { session }) when Int64.equal session id ->
+    let mirror =
+      Engine.Session.create
+        ~rng:(Daemon.session_rng ~seed)
+        config Mobile_server.Mtc.algorithm ~start:(start ())
+    in
+    Hashtbl.replace st.serve_replicas id { mirror; r_dead = false };
+    st.serve_live <- st.serve_live @ [ id ]
+  | Ok reply -> check_failed "serve-open got %s" (reply_kind reply)
+  | Error msg -> check_failed "undecodable serve-open reply: %s" msg
+
+let do_serve_step st t requests =
+  match serve_target st t with
+  | None -> ()
+  | Some id ->
+    let d = get_daemon st in
+    let r = Hashtbl.find st.serve_replicas id in
+    let frame = Frame.encode_request (Frame.Step { session = id; requests }) in
+    if r.r_dead then expect_unknown st d id ~what:"serve-step" frame
+    else begin
+      st.checks <- st.checks + 1;
+      match Frame.decode_reply (Daemon.call d frame) with
+      | Ok (Frame.Stepped { session; position; move; service; clamped }) ->
+        if not (Int64.equal session id) then
+          check_failed "stepped reply names session %Ld, asked %Ld" session id;
+        (match Engine.Session.step r.mirror requests with
+         | record ->
+           if not (same_vec position record.Engine.position) then
+             check_failed "session %Ld: served step position diverges" id;
+           if not (same_bits move record.Engine.cost.Cost.move) then
+             check_failed "session %Ld: served step move cost diverges" id;
+           if not (same_bits service record.Engine.cost.Cost.service) then
+             check_failed "session %Ld: served step service cost diverges" id;
+           if clamped <> record.Engine.clamped then
+             check_failed "session %Ld: served clamp flag diverges" id
+         | exception Invalid_argument _ ->
+           check_failed "daemon accepted a round the engine rejects \
+                         (session %Ld)" id)
+      | Ok (Frame.Error { code = Frame.Bad_request; _ }) ->
+        (match Engine.Session.step r.mirror requests with
+         | _ ->
+           check_failed "daemon rejected a round the engine accepts \
+                         (session %Ld)" id
+         | exception Invalid_argument _ -> ())
+      | Ok reply -> check_failed "serve-step got %s" (reply_kind reply)
+      | Error msg -> check_failed "undecodable serve-step reply: %s" msg
+    end
+
+let do_serve_checkpoint st t =
+  match serve_target st t with
+  | None -> ()
+  | Some id ->
+    let d = get_daemon st in
+    let r = Hashtbl.find st.serve_replicas id in
+    let frame = Frame.encode_request (Frame.Checkpoint { session = id }) in
+    if r.r_dead then expect_unknown st d id ~what:"serve-checkpoint" frame
+    else begin
+      st.checks <- st.checks + 1;
+      match Frame.decode_reply (Daemon.call d frame) with
+      | Ok (Frame.Snapshot { session; rounds; clamped_rounds; position; move;
+                             service }) ->
+        if not (Int64.equal session id) then
+          check_failed "snapshot reply names session %Ld, asked %Ld" session
+            id;
+        check_snapshot st id ~rounds ~clamped_rounds ~position ~move ~service
+      | Ok reply -> check_failed "serve-checkpoint got %s" (reply_kind reply)
+      | Error msg -> check_failed "undecodable serve-checkpoint reply: %s" msg
+    end
+
+let do_serve_close st t =
+  match serve_target st t with
+  | None -> ()
+  | Some id ->
+    let d = get_daemon st in
+    let r = Hashtbl.find st.serve_replicas id in
+    let frame = Frame.encode_request (Frame.Close { session = id }) in
+    if r.r_dead then expect_unknown st d id ~what:"serve-close" frame
+    else begin
+      st.checks <- st.checks + 1;
+      match Frame.decode_reply (Daemon.call d frame) with
+      | Ok (Frame.Closed { session; rounds; clamped_rounds; position; move;
+                           service }) ->
+        if not (Int64.equal session id) then
+          check_failed "closed reply names session %Ld, asked %Ld" session id;
+        check_snapshot st id ~rounds ~clamped_rounds ~position ~move ~service;
+        drop_serve st id;
+        (* The id must be gone: a follow-up probe is a clean error. *)
+        (match
+           Frame.decode_reply
+             (Daemon.call d
+                (Frame.encode_request (Frame.Checkpoint { session = id })))
+         with
+         | Ok (Frame.Error { code = Frame.Unknown_session; _ }) -> ()
+         | Ok reply ->
+           check_failed "closed session %Ld still answers with %s" id
+             (reply_kind reply)
+         | Error msg ->
+           check_failed "undecodable post-close reply: %s" msg)
+      | Ok reply -> check_failed "serve-close got %s" (reply_kind reply)
+      | Error msg -> check_failed "undecodable serve-close reply: %s" msg
+    end
+
+let do_serve_kill st shard lose =
+  match st.daemon with
+  | None -> ()  (* Nothing serving; a kill with no daemon is a no-op. *)
+  | Some d ->
+    st.faults_armed <- st.faults_armed + 1;
+    let n = Daemon.shard_count d in
+    let shard = ((shard mod n) + n) mod n in
+    Daemon.kill_shard ~lose_journal:lose d shard;
+    if lose then
+      List.iter
+        (fun id ->
+          if Daemon.shard_of_session d id = shard then
+            (Hashtbl.find st.serve_replicas id).r_dead <- true)
+        st.serve_live
+
+let do_serve_bad_frame st kind =
+  st.checks <- st.checks + 1;
+  st.faults_armed <- st.faults_armed + 1;
+  let d = get_daemon st in
+  let bytes =
+    match kind with
+    | Op.Truncated -> "\x00\x00"
+    | Op.Bad_version ->
+      let f =
+        Bytes.of_string
+          (Frame.encode_request (Frame.Checkpoint { session = 0L }))
+      in
+      Bytes.set f 4 '\x7f';
+      Bytes.to_string f
+    | Op.Non_finite_coord ->
+      Frame.encode_request
+        (Frame.Open { session = -1L; seed = 0; start = [| Float.nan |] })
+  in
+  match Frame.decode_reply (Daemon.call d bytes) with
+  | Ok (Frame.Error { code = Frame.Bad_frame; message; _ }) ->
+    if message = "" then
+      check_failed "bad-frame error reply carries no diagnostic"
+  | Ok reply ->
+    check_failed "mangled frame (%s) got %s, wanted a bad-frame error"
+      (Op.to_string (Op.Serve_bad_frame kind))
+      (reply_kind reply)
+  | Error msg -> check_failed "undecodable bad-frame reply: %s" msg
+
+(* Sweep every daemon session against its mirror (and every lost one
+   against clean failure); part of every checkpoint, so a divergence
+   planted by a shard crash cannot outlive the next sweep. *)
+let check_serve st =
+  match st.daemon with
+  | None -> ()
+  | Some d ->
+    let probe id =
+      st.checks <- st.checks + 1;
+      let r = Hashtbl.find st.serve_replicas id in
+      let reply =
+        Daemon.call d (Frame.encode_request (Frame.Checkpoint { session = id }))
+      in
+      match Frame.decode_reply reply with
+      | Ok (Frame.Snapshot { session; rounds; clamped_rounds; position; move;
+                             service }) ->
+        if r.r_dead then
+          check_failed "session %Ld answers after its journal was lost" id;
+        if not (Int64.equal session id) then
+          check_failed "sweep snapshot names session %Ld, asked %Ld" session
+            id;
+        check_snapshot st id ~rounds ~clamped_rounds ~position ~move ~service;
+        true
+      | Ok (Frame.Error { code = Frame.Unknown_session; _ }) ->
+        if not r.r_dead then
+          check_failed "session %Ld vanished without a journal-losing crash"
+            id;
+        Hashtbl.remove st.serve_replicas id;
+        false
+      | Ok reply ->
+        check_failed "sweep of session %Ld got %s" id (reply_kind reply)
+      | Error msg -> check_failed "undecodable sweep reply: %s" msg
+    in
+    st.serve_live <- List.filter probe st.serve_live
+
 let checkpoint st =
   check_session_vs_batch st;
   check_opt st;
-  check_metric st
+  check_metric st;
+  check_audit st;
+  check_serve st
 
 (* --- op execution ---------------------------------------------------- *)
 
@@ -281,6 +589,12 @@ let exec_op st ~inject_bug op =
   | Op.Metric_invalidate -> Network.Dijkstra.invalidate st.lazy_m
   | Op.Fleet_check k -> do_fleet_check st k
   | Op.Concurrent_step k -> do_concurrent_step st k
+  | Op.Serve_open -> do_serve_open st
+  | Op.Serve_step (t, requests) -> do_serve_step st t requests
+  | Op.Serve_checkpoint t -> do_serve_checkpoint st t
+  | Op.Serve_close t -> do_serve_close st t
+  | Op.Serve_kill (shard, lose) -> do_serve_kill st shard lose
+  | Op.Serve_bad_frame kind -> do_serve_bad_frame st kind
 
 (* --- run setup / teardown ------------------------------------------- *)
 
@@ -302,7 +616,7 @@ let remove_temp_dir path =
     (try Sys.rmdir path with Sys_error _ -> ())
   | exception Sys_error _ -> ()
 
-let run_ops ?(inject_bug = false) ~seed ops =
+let run_ops ?(inject_bug = false) ?(inject_audit_bug = false) ~seed ops =
   let saved_dir = Opt_cache.disk_dir () in
   let tmp = make_temp_dir () in
   Fun.protect
@@ -323,6 +637,7 @@ let run_ops ?(inject_bug = false) ~seed ops =
       let session_base = Prng.Stream.named ~name:"simtest-session" ~seed in
       let st =
         {
+          run_seed = seed;
           session_base;
           fleet_base = Prng.Stream.named ~name:"simtest-fleet" ~seed;
           generation = 0;
@@ -330,10 +645,23 @@ let run_ops ?(inject_bug = false) ~seed ops =
           prefix_rev = [];
           dense = Network.Dijkstra.all_pairs graph;
           lazy_m = Network.Dijkstra.lazy_metric ~capacity:lazy_capacity graph;
+          audit_alg =
+            (if inject_audit_bug then teleport
+             else Mobile_server.Mtc.algorithm);
+          daemon = None;
+          serve_replicas = Hashtbl.create 32;
+          serve_live = [];
+          serve_next = 0;
           checks = 0;
           faults_armed = 0;
         }
       in
+      Fun.protect
+        ~finally:(fun () ->
+          match st.daemon with
+          | Some d -> Daemon.shutdown d
+          | None -> ())
+      @@ fun () ->
       let guard f =
         match f () with
         | () -> None
@@ -371,11 +699,12 @@ let gen_ops ?(weights = Op.default_weights) ~seed ~count () =
   in
   build [] (max 0 count)
 
-let run ?inject_bug ?weights ~seed ~count () =
-  run_ops ?inject_bug ~seed (gen_ops ?weights ~seed ~count ())
+let run ?inject_bug ?inject_audit_bug ?weights ~seed ~count () =
+  run_ops ?inject_bug ?inject_audit_bug ~seed
+    (gen_ops ?weights ~seed ~count ())
 
-let fails ?inject_bug ~seed ops =
-  match (run_ops ?inject_bug ~seed ops).outcome with
+let fails ?inject_bug ?inject_audit_bug ~seed ops =
+  match (run_ops ?inject_bug ?inject_audit_bug ~seed ops).outcome with
   | Pass -> false
   | Fail _ -> true
 

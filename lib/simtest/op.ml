@@ -1,5 +1,7 @@
 type bad_request = Dim_mismatch | Non_finite
 
+type bad_frame = Truncated | Bad_version | Non_finite_coord
+
 type corruption = Offline.Opt_cache.Faults.read_corruption =
   | Sys_err
   | Truncate
@@ -19,6 +21,12 @@ type op =
   | Metric_invalidate
   | Fleet_check of int
   | Concurrent_step of int
+  | Serve_open
+  | Serve_step of int * float array array
+  | Serve_checkpoint of int
+  | Serve_close of int
+  | Serve_kill of int * bool
+  | Serve_bad_frame of bad_frame
 
 type weights = {
   step : float;
@@ -34,6 +42,12 @@ type weights = {
   metric_invalidate : float;
   fleet_check : float;
   concurrent_step : float;
+  serve_open : float;
+  serve_step : float;
+  serve_checkpoint : float;
+  serve_close : float;
+  serve_kill : float;
+  serve_bad_frame : float;
 }
 
 let default_weights =
@@ -51,6 +65,12 @@ let default_weights =
     metric_invalidate = 0.02;
     fleet_check = 0.04;
     concurrent_step = 0.02;
+    serve_open = 0.05;
+    serve_step = 0.10;
+    serve_checkpoint = 0.03;
+    serve_close = 0.03;
+    serve_kill = 0.02;
+    serve_bad_frame = 0.02;
   }
 
 (* --- generation ------------------------------------------------------ *)
@@ -79,6 +99,12 @@ let categories w =
     w.metric_invalidate;
     w.fleet_check;
     w.concurrent_step;
+    w.serve_open;
+    w.serve_step;
+    w.serve_checkpoint;
+    w.serve_close;
+    w.serve_kill;
+    w.serve_bad_frame;
   |]
 
 let gen ~graph_nodes w g =
@@ -119,7 +145,22 @@ let gen ~graph_nodes w g =
     Metric_query (u, v)
   | 10 -> Metric_invalidate
   | 11 -> Fleet_check (2 + Prng.Xoshiro.next_below g 3)
-  | _ -> Concurrent_step (2 + Prng.Xoshiro.next_below g 5)
+  | 12 -> Concurrent_step (2 + Prng.Xoshiro.next_below g 5)
+  | 13 -> Serve_open
+  | 14 ->
+    let t = Prng.Xoshiro.next_below g 8 in
+    Serve_step (t, gen_round g)
+  | 15 -> Serve_checkpoint (Prng.Xoshiro.next_below g 8)
+  | 16 -> Serve_close (Prng.Xoshiro.next_below g 8)
+  | 17 ->
+    let shard = Prng.Xoshiro.next_below g 8 in
+    Serve_kill (shard, Prng.Dist.fair_coin g)
+  | _ ->
+    Serve_bad_frame
+      (match Prng.Xoshiro.next_below g 3 with
+       | 0 -> Truncated
+       | 1 -> Bad_version
+       | _ -> Non_finite_coord)
 
 (* --- serialization --------------------------------------------------- *)
 
@@ -140,12 +181,18 @@ let corruption_to_string = function
   | Truncate -> "truncate"
   | Garbage -> "garbage"
 
+let round_to_string requests =
+  let req v = String.concat "," (Array.to_list (Array.map float_to_hex v)) in
+  String.concat ";" (Array.to_list (Array.map req requests))
+
+let bad_frame_to_string = function
+  | Truncated -> "truncated"
+  | Bad_version -> "bad-version"
+  | Non_finite_coord -> "non-finite"
+
 let to_string = function
   | Step requests ->
-    let req v =
-      String.concat "," (Array.to_list (Array.map float_to_hex v))
-    in
-    let body = String.concat ";" (Array.to_list (Array.map req requests)) in
+    let body = round_to_string requests in
     if body = "" then "step" else "step " ^ body
   | Bad_step Dim_mismatch -> "bad-step dim"
   | Bad_step Non_finite -> "bad-step nan"
@@ -160,6 +207,16 @@ let to_string = function
   | Metric_invalidate -> "metric-invalidate"
   | Fleet_check k -> Printf.sprintf "fleet-check %d" k
   | Concurrent_step k -> Printf.sprintf "concurrent-step %d" k
+  | Serve_open -> "serve-open"
+  | Serve_step (t, requests) ->
+    let body = round_to_string requests in
+    if body = "" then Printf.sprintf "serve-step %d" t
+    else Printf.sprintf "serve-step %d %s" t body
+  | Serve_checkpoint t -> Printf.sprintf "serve-checkpoint %d" t
+  | Serve_close t -> Printf.sprintf "serve-close %d" t
+  | Serve_kill (shard, lose) ->
+    Printf.sprintf "serve-kill %d %s" shard (if lose then "lose" else "keep")
+  | Serve_bad_frame kind -> "serve-bad-frame " ^ bad_frame_to_string kind
 
 let ( let* ) = Result.bind
 
@@ -223,6 +280,32 @@ let of_string line =
   | "fleet-check", k -> Result.map (fun k -> Fleet_check k) (parse_int k)
   | "concurrent-step", k ->
     Result.map (fun k -> Concurrent_step k) (parse_int k)
+  | "serve-open", "" -> Ok Serve_open
+  | "serve-step", body ->
+    let t, round =
+      match String.index_opt body ' ' with
+      | None -> (body, "")
+      | Some i ->
+        ( String.sub body 0 i,
+          String.trim (String.sub body (i + 1) (String.length body - i - 1)) )
+    in
+    let* t = parse_int t in
+    Result.map (fun r -> Serve_step (t, r)) (parse_round round)
+  | "serve-checkpoint", t ->
+    Result.map (fun t -> Serve_checkpoint t) (parse_int t)
+  | "serve-close", t -> Result.map (fun t -> Serve_close t) (parse_int t)
+  | "serve-kill", body ->
+    (match String.split_on_char ' ' body with
+     | [ shard; mode ] ->
+       let* shard = parse_int shard in
+       (match mode with
+        | "keep" -> Ok (Serve_kill (shard, false))
+        | "lose" -> Ok (Serve_kill (shard, true))
+        | _ -> Error (Printf.sprintf "bad serve-kill mode %S" mode))
+     | _ -> Error (Printf.sprintf "bad serve-kill operands %S" body))
+  | "serve-bad-frame", "truncated" -> Ok (Serve_bad_frame Truncated)
+  | "serve-bad-frame", "bad-version" -> Ok (Serve_bad_frame Bad_version)
+  | "serve-bad-frame", "non-finite" -> Ok (Serve_bad_frame Non_finite_coord)
   | _ -> Error (Printf.sprintf "unknown op %S" line)
 
 (* --- shrinking-time simplification ----------------------------------- *)
@@ -234,4 +317,8 @@ let simplify = function
     List.init (Array.length requests) (fun n -> Step (Array.sub requests 0 n))
   | Fleet_check k when k > 2 -> [ Fleet_check 2 ]
   | Concurrent_step k when k > 2 -> [ Concurrent_step 2 ]
+  | Serve_step (t, requests) when Array.length requests > 0 ->
+    List.init (Array.length requests) (fun n ->
+        Serve_step (t, Array.sub requests 0 n))
+  | Serve_kill (shard, true) -> [ Serve_kill (shard, false) ]
   | _ -> []

@@ -13,6 +13,12 @@ type bad_request =
   | Dim_mismatch  (** A request of the wrong dimension. *)
   | Non_finite  (** A request with a NaN coordinate. *)
 
+(** Ways a {!Serve_bad_frame} op mangles a wire frame. *)
+type bad_frame =
+  | Truncated  (** Fewer bytes than a length prefix. *)
+  | Bad_version  (** A version tag the codec does not speak. *)
+  | Non_finite_coord  (** A structurally sound frame smuggling a NaN. *)
+
 type corruption = Offline.Opt_cache.Faults.read_corruption =
   | Sys_err
   | Truncate
@@ -53,6 +59,32 @@ type op =
       (** Replay the prefix on [k] fresh sessions fanned out over a
           private {!Exec.Pool} (including a submit-after-shutdown
           batch): every replica must equal the live session bitwise. *)
+  | Serve_open
+      (** Open a fresh session on the serve daemon (through the
+          {!Serve.Frame} codec) and start a bit-exact in-process
+          mirror. *)
+  | Serve_step of int * float array array
+      (** Feed one round to the [t]-th live daemon session (mod the
+          live count; no-op when none): the [Stepped] reply must match
+          the mirror's {!Mobile_server.Engine.step_record} bitwise.  A
+          session whose journal was lost must answer
+          [Error Unknown_session] instead. *)
+  | Serve_checkpoint of int
+      (** [Snapshot] of the [t]-th live daemon session ≡ the mirror's
+          cumulative rounds/clamps/position/costs, bitwise. *)
+  | Serve_close of int
+      (** Close the [t]-th live daemon session; the final snapshot must
+          match the mirror, and the id must be gone afterwards. *)
+  | Serve_kill of int * bool
+      (** Crash daemon shard [t mod shards].  With [lose = false] the
+          journals survive and every session must {e resume exactly}
+          (later replies still match the mirrors bit for bit); with
+          [lose = true] the shard's sessions must fail cleanly with
+          [Error Unknown_session] while other shards keep serving. *)
+  | Serve_bad_frame of bad_frame
+      (** Send a mangled frame: the daemon must answer a precise
+          [Error Bad_frame] and keep serving — a hostile frame never
+          kills a shard. *)
 
 (** Relative draw weights for {!gen}; they need not sum to 1. *)
 type weights = {
@@ -69,6 +101,12 @@ type weights = {
   metric_invalidate : float;
   fleet_check : float;
   concurrent_step : float;
+  serve_open : float;
+  serve_step : float;
+  serve_checkpoint : float;
+  serve_close : float;
+  serve_kill : float;
+  serve_bad_frame : float;
 }
 
 val default_weights : weights

@@ -1,0 +1,148 @@
+type plan = {
+  id : int64;
+  seed : int;
+  family : int;
+  arrival : int;
+  rounds : int;
+}
+
+type t = {
+  dim : int;
+  seed : int;
+  ticks : int;
+  arrival_rate : float;
+  mean_lifetime : float;
+  initial : int;
+  plans : plan array;  (* ordered by (arrival, id) *)
+}
+
+let family_count = 3
+
+let family_name = function
+  | 0 -> "clusters"
+  | 1 -> "bursts"
+  | 2 -> "random-walk"
+  | i -> invalid_arg (Printf.sprintf "Open_world.family_name: %d" i)
+
+let generate ?(arrival_rate = 4.0) ?(mean_lifetime = 16.0) ?(initial = 0)
+    ~dim ~seed ~ticks () =
+  if dim < 1 then invalid_arg "Open_world.generate: dim < 1";
+  if ticks < 1 then invalid_arg "Open_world.generate: ticks < 1";
+  if initial < 0 then invalid_arg "Open_world.generate: initial < 0";
+  if not (Float.is_finite arrival_rate) || arrival_rate <= 0. then
+    invalid_arg "Open_world.generate: arrival_rate <= 0";
+  if not (Float.is_finite mean_lifetime) || mean_lifetime <= 0. then
+    invalid_arg "Open_world.generate: mean_lifetime <= 0";
+  let sched = Prng.Stream.named ~name:"open-world-schedule" ~seed in
+  let plans = ref [] in
+  let next = ref 0 in
+  let admit ~arrival =
+    let i = !next in
+    incr next;
+    (* Lifetimes round up (a session plays at least one round) and are
+       capped so every session closes within the horizon. *)
+    let drawn =
+      Prng.Dist.exponential sched ~rate:(1.0 /. mean_lifetime)
+    in
+    let rounds =
+      Stdlib.max 1 (Stdlib.min (ticks - arrival) (int_of_float (Float.ceil drawn)))
+    in
+    plans :=
+      {
+        id = Int64.of_int i;
+        seed = Exec.derive_seed ~parent:seed i;
+        family = i mod family_count;
+        arrival;
+        rounds;
+      }
+      :: !plans
+  in
+  for tick = 0 to ticks - 1 do
+    if tick = 0 then
+      for _ = 1 to initial do admit ~arrival:0 done;
+    let arrivals = Prng.Dist.poisson sched ~lambda:arrival_rate in
+    for _ = 1 to arrivals do admit ~arrival:tick done
+  done;
+  let plans = Array.of_list (List.rev !plans) in
+  (* Admission order is already (arrival, id) order. *)
+  { dim; seed; ticks; arrival_rate; mean_lifetime; initial; plans }
+
+let dim t = t.dim
+let ticks t = t.ticks
+let sessions t = Array.length t.plans
+
+let total_rounds t =
+  Array.fold_left (fun acc p -> acc + p.rounds) 0 t.plans
+
+let peak_live t =
+  (* Sweep open/close deltas over the tick line. *)
+  let delta = Array.make (t.ticks + 1) 0 in
+  Array.iter
+    (fun p ->
+      delta.(p.arrival) <- delta.(p.arrival) + 1;
+      delta.(p.arrival + p.rounds) <- delta.(p.arrival + p.rounds) - 1)
+    t.plans;
+  let live = ref 0 and peak = ref 0 in
+  Array.iter
+    (fun d ->
+      live := !live + d;
+      if !live > !peak then peak := !live)
+    delta;
+  !peak
+
+let plans t = t.plans
+
+let plan_instance t (p : plan) =
+  let rng = Prng.Stream.named ~name:"open-world-session" ~seed:p.seed in
+  match p.family with
+  | 0 -> Clusters.generate ~dim:t.dim ~t:p.rounds rng
+  | 1 -> Bursts.generate ~dim:t.dim ~t:p.rounds rng
+  | 2 -> Random_walk.generate ~dim:t.dim ~t:p.rounds rng
+  | i -> invalid_arg (Printf.sprintf "Open_world.plan_instance: family %d" i)
+
+let iter t ~open_ ~step ~close ~tick_end =
+  let n = Array.length t.plans in
+  (* Live sessions in id order; arrivals append (ids increase with
+     arrival tick), closes filter — no hash iteration order anywhere. *)
+  let live = ref [] (* (plan, instance) list, id order *) in
+  let cursor = ref 0 in
+  for tick = 0 to t.ticks - 1 do
+    let opened = ref [] in
+    while !cursor < n && t.plans.(!cursor).arrival = tick do
+      let p = t.plans.(!cursor) in
+      incr cursor;
+      let inst = plan_instance t p in
+      open_ p inst;
+      opened := (p, inst) :: !opened
+    done;
+    live := !live @ List.rev !opened;
+    List.iter
+      (fun ((p : plan), (inst : Mobile_server.Instance.t)) ->
+        let round = tick - p.arrival in
+        step p ~round inst.Mobile_server.Instance.steps.(round))
+      !live;
+    live :=
+      List.filter
+        (fun ((p : plan), _) ->
+          let finished = tick - p.arrival = p.rounds - 1 in
+          if finished then close p;
+          not finished)
+        !live;
+    tick_end ~tick
+  done
+
+let fingerprint t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "open-world-v1 dim=%d seed=%d ticks=%d rate=%Lx life=%Lx initial=%d\n"
+       t.dim t.seed t.ticks
+       (Int64.bits_of_float t.arrival_rate)
+       (Int64.bits_of_float t.mean_lifetime)
+       t.initial);
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%Ld %d %d %d %d\n" p.id p.seed p.family p.arrival
+           p.rounds))
+    t.plans;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,87 @@
+(** Open-world serving schedule: Poisson arrivals, exponential
+    lifetimes, per-session request streams from the workload catalog.
+
+    The closed-world generators in this library each build one finite
+    {!Mobile_server.Instance} up front.  A serving daemon faces the
+    opposite regime — sessions arrive over time, live a while, and
+    leave — so this module generates a {e schedule}: per tick, a
+    Poisson number of new sessions opens (rate [arrival_rate]), each
+    with an exponential lifetime (mean [mean_lifetime] ticks, capped at
+    the schedule horizon) and its own seeded request stream drawn from
+    the catalog ({!Clusters}, {!Bursts}, {!Random_walk} round-robin).
+    This mirrors the mobile-edge-computing simulator's [WholeMap] tick
+    loop (SNIPPETS.md §2): tick the world, admit arrivals, step every
+    live session once, retire the dead.
+
+    {b Determinism.}  The whole schedule is a pure function of
+    [(dim, seed, ticks, rates)]: the arrival process draws from one
+    named stream in tick order, and each session's request stream is
+    regenerated on demand from its own derived seed
+    ({!Exec.derive_seed}), never from shared generator state.  The same
+    seed therefore yields a byte-identical schedule — and byte-identical
+    session instances — no matter how many domains later serve it; the
+    property tests pin this via {!fingerprint}. *)
+
+type plan = {
+  id : int64;  (** Session id, unique and increasing in arrival order. *)
+  seed : int;  (** Session seed; also drives {!Serve.Daemon.session_rng}. *)
+  family : int;  (** Catalog family index; see {!family_name}. *)
+  arrival : int;  (** Tick at which the session opens (first step same tick). *)
+  rounds : int;  (** Lifetime in ticks; [>= 1], ends within the horizon. *)
+}
+
+type t
+
+val generate :
+  ?arrival_rate:float -> ?mean_lifetime:float -> ?initial:int ->
+  dim:int -> seed:int -> ticks:int -> unit -> t
+(** [generate ~dim ~seed ~ticks ()] builds the schedule.
+    [arrival_rate] (default 4.0) is the Poisson arrival intensity per
+    tick; [mean_lifetime] (default 16.0) the exponential lifetime mean
+    in ticks; [initial] (default 0) extra sessions opened at tick 0, so
+    a bench can start at steady-state occupancy instead of ramping up.
+    Raises [Invalid_argument] on non-positive parameters. *)
+
+val dim : t -> int
+val ticks : t -> int
+val sessions : t -> int
+(** Total sessions over the whole schedule. *)
+
+val total_rounds : t -> int
+(** Total steps over the whole schedule (the sum of plan lifetimes). *)
+
+val peak_live : t -> int
+(** Maximum number of concurrently live sessions at any tick. *)
+
+val plans : t -> plan array
+(** All plans, ordered by [(arrival, id)].  A borrow; treat as
+    read-only. *)
+
+val plan_instance : t -> plan -> Mobile_server.Instance.t
+(** The session's full request stream as a closed instance ([rounds]
+    rounds), regenerated deterministically from [plan.seed] — the
+    serve≡engine identity gate replays exactly this instance through
+    [Engine.run].  Memory stays O(live sessions): nothing is cached. *)
+
+val family_name : int -> string
+(** Stable catalog names ("clusters", "bursts", "random-walk"). *)
+
+val iter :
+  t ->
+  open_:(plan -> Mobile_server.Instance.t -> unit) ->
+  step:(plan -> round:int -> Geometry.Vec.t array -> unit) ->
+  close:(plan -> unit) ->
+  tick_end:(tick:int -> unit) ->
+  unit
+(** Drive the schedule tick by tick.  Per tick, in this fixed order:
+    arrivals open (id order; [open_] receives the session's instance,
+    whose [start] is the server's opening position), every live session
+    steps once (id order; [round] counts from 0), sessions whose last
+    round just played close (id order), then [tick_end].  Instances are
+    materialized at open and dropped at close. *)
+
+val fingerprint : t -> string
+(** Hex digest of the complete schedule (every plan field plus the
+    generation parameters) — two schedules with equal fingerprints are
+    byte-identical.  The jobs-invariance property test compares this
+    across [--jobs] settings. *)

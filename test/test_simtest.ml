@@ -196,6 +196,121 @@ let bad_steps_leave_session_intact () =
     Alcotest.failf "bad-step run failed:\n%s"
       (Simtest.Harness.result_to_string r)
 
+(* --- serve ops -------------------------------------------------------- *)
+
+let serve_op_strings_roundtrip () =
+  let pinned =
+    [
+      (Simtest.Op.Serve_open, "serve-open");
+      (Simtest.Op.Serve_step (0, [||]), "serve-step 0");
+      (Simtest.Op.Serve_checkpoint 1, "serve-checkpoint 1");
+      (Simtest.Op.Serve_close 2, "serve-close 2");
+      (Simtest.Op.Serve_kill (1, true), "serve-kill 1 lose");
+      (Simtest.Op.Serve_kill (0, false), "serve-kill 0 keep");
+      (Simtest.Op.Serve_bad_frame Simtest.Op.Truncated,
+       "serve-bad-frame truncated");
+      (Simtest.Op.Serve_bad_frame Simtest.Op.Bad_version,
+       "serve-bad-frame bad-version");
+      (Simtest.Op.Serve_bad_frame Simtest.Op.Non_finite_coord,
+       "serve-bad-frame non-finite");
+    ]
+  in
+  List.iter
+    (fun (op, line) ->
+      Alcotest.(check string) "pinned spelling" line (Simtest.Op.to_string op))
+    pinned;
+  List.iter
+    (fun op ->
+      let line = Simtest.Op.to_string op in
+      match Simtest.Op.of_string line with
+      | Error msg -> Alcotest.failf "%s did not parse: %s" line msg
+      | Ok op' ->
+        Alcotest.(check string) "roundtrip" line (Simtest.Op.to_string op'))
+    (Simtest.Op.Serve_step (3, [| [| 0.5 |]; [| -1.25 |] |])
+     :: List.map fst pinned)
+
+(* An explicit serve script through the whole fault surface: crashes
+   with journals intact must resume bit-exactly (the sweep would catch
+   any drift), journal-losing crashes must fail cleanly, and mangled
+   frames must earn errors without hurting anyone. *)
+let serve_ops_exercise_daemon () =
+  let ops =
+    [
+      Simtest.Op.Serve_open;
+      Simtest.Op.Serve_open;
+      Simtest.Op.Serve_open;
+      Simtest.Op.Serve_step (0, [| [| 0.5 |] |]);
+      Simtest.Op.Serve_step (1, [| [| -1.0 |]; [| 2.0 |] |]);
+      Simtest.Op.Serve_checkpoint 0;
+      (* Crash every shard, journals intact: replay must resume. *)
+      Simtest.Op.Serve_kill (0, false);
+      Simtest.Op.Serve_kill (1, false);
+      Simtest.Op.Serve_kill (2, false);
+      Simtest.Op.Serve_step (0, [| [| 1.5 |] |]);
+      Simtest.Op.Checkpoint;
+      Simtest.Op.Serve_bad_frame Simtest.Op.Truncated;
+      Simtest.Op.Serve_bad_frame Simtest.Op.Bad_version;
+      Simtest.Op.Serve_bad_frame Simtest.Op.Non_finite_coord;
+      Simtest.Op.Serve_close 1;
+      (* Lose every journal: the survivors must fail cleanly. *)
+      Simtest.Op.Serve_kill (0, true);
+      Simtest.Op.Serve_kill (1, true);
+      Simtest.Op.Serve_kill (2, true);
+      Simtest.Op.Serve_step (0, [| [| 0.0 |] |]);
+      Simtest.Op.Checkpoint;
+    ]
+  in
+  let r = Simtest.Harness.run_ops ~seed:4 ops in
+  (match r.Simtest.Harness.outcome with
+   | Simtest.Harness.Pass -> ()
+   | Simtest.Harness.Fail _ ->
+     Alcotest.failf "serve script failed:\n%s"
+       (Simtest.Harness.result_to_string r));
+  Alcotest.(check int) "six crashes and three bad frames armed" 9
+    r.Simtest.Harness.faults_armed;
+  Alcotest.(check bool) "the serve oracle ran" true
+    (r.Simtest.Harness.checks > 0)
+
+(* The audit oracle: a deliberately unclamped algorithm must turn up
+   as a dirty report at the next checkpoint, and the repro must shrink
+   and replay like any other simtest failure. *)
+let audit_bug_is_caught () =
+  let r =
+    Simtest.Harness.run_ops ~inject_audit_bug:true ~seed:1
+      [ Simtest.Op.Step [| [| 6.0 |] |]; Simtest.Op.Checkpoint ]
+  in
+  match r.Simtest.Harness.outcome with
+  | Simtest.Harness.Pass -> Alcotest.fail "audit bug went unnoticed"
+  | Simtest.Harness.Fail { reason; _ } ->
+    let contains hay needle =
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length hay
+        && (String.sub hay i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "failure names the audit" true
+      (contains reason "audit")
+
+let audit_bug_shrinks () =
+  let seed = 7 in
+  let ops = Simtest.Harness.gen_ops ~seed ~count:80 () in
+  let fails = Simtest.Harness.fails ~inject_audit_bug:true ~seed in
+  Alcotest.(check bool) "audit bug is caught" true (fails ops);
+  let minimal = Simtest.Shrink.minimize ~fails ops in
+  Alcotest.(check bool) "minimal repro still fails" true (fails minimal);
+  Alcotest.(check bool) "shrunk well below the original" true
+    (List.length minimal <= 3);
+  let text = Simtest.Replay.to_string ~seed minimal in
+  match Simtest.Replay.of_string text with
+  | Ok (seed', ops') ->
+    Alcotest.(check bool) "replayed repro fails" true
+      (Simtest.Harness.fails ~inject_audit_bug:true ~seed:seed' ops');
+    Alcotest.(check bool) "clean build passes the repro" true
+      (not (Simtest.Harness.fails ~seed:seed' ops'))
+  | Error msg -> Alcotest.failf "repro artifact did not parse: %s" msg
+
 let qcheck_random_runs_pass =
   QCheck.Test.make ~count:12
     ~name:"random op sequences pass on a clean build"
@@ -237,6 +352,17 @@ let () =
             write_fault_degrades_to_recompute;
           Alcotest.test_case "bad steps leave session intact" `Quick
             bad_steps_leave_session_intact;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "serve op strings roundtrip" `Quick
+            serve_op_strings_roundtrip;
+          Alcotest.test_case "serve ops drive the daemon" `Quick
+            serve_ops_exercise_daemon;
+          Alcotest.test_case "audit oracle catches the bug" `Quick
+            audit_bug_is_caught;
+          Alcotest.test_case "audit repro shrinks and replays" `Quick
+            audit_bug_shrinks;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_random_runs_pass ] );

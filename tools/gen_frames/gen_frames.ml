@@ -1,0 +1,82 @@
+(* Regenerates the wire-protocol fixtures test/golden/frames_v1.hex.
+   Each line is "<name> <hex of one encoded frame>"; test_serve.ml
+   rebuilds the same values and checks both encode (value -> these
+   exact bytes) and decode (these bytes -> the same value, floats
+   compared bitwise).  Regenerate ONLY on a deliberate protocol
+   version bump, never to make a failing byte-identity check pass —
+   a mismatch means the wire format drifted, which is exactly what
+   the fixtures exist to catch. *)
+
+open Serve.Frame
+
+let hex s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun ch -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch)))
+    s;
+  Buffer.contents b
+
+let () =
+  print_string
+    "# Wire-protocol v1 frame fixtures; regenerate with tools/gen_frames.\n";
+  let line name bytes = Printf.printf "%s %s\n" name (hex bytes) in
+  let req name r = line name (encode_request r) in
+  let rep name r = line name (encode_reply r) in
+  req "req-open" (Open { session = 1L; seed = 42; start = [| 0.0; 0.0 |] });
+  req "req-open-neg-id"
+    (Open { session = -1L; seed = 987654321; start = [| 1.5 |] });
+  req "req-step"
+    (Step
+       { session = 7L; requests = [| [| 1.0; 2.0 |]; [| -0.5; 3.25 |] |] });
+  req "req-step-empty" (Step { session = 7L; requests = [||] });
+  req "req-checkpoint" (Checkpoint { session = 99L });
+  req "req-close" (Close { session = 99L });
+  rep "rep-opened" (Opened { session = 1L });
+  rep "rep-stepped"
+    (Stepped
+       {
+         session = 7L;
+         position = [| 0.25; 0.75 |];
+         move = 0.125;
+         service = 2.5;
+         clamped = true;
+       });
+  rep "rep-stepped-unclamped"
+    (Stepped
+       {
+         session = 8L;
+         position = [| -0.0 |];
+         move = 0.0;
+         service = 0.1;
+         clamped = false;
+       });
+  rep "rep-snapshot"
+    (Snapshot
+       {
+         session = 7L;
+         rounds = 12;
+         clamped_rounds = 3;
+         position = [| 1.0 |];
+         move = 4.5;
+         service = 9.0;
+       });
+  rep "rep-closed"
+    (Closed
+       {
+         session = 0x0123456789abcdefL;
+         rounds = 1_000_000;
+         clamped_rounds = 0;
+         position = [| 3.141592653589793 |];
+         move = 1e-12;
+         service = 1e12;
+       });
+  rep "rep-error-bad-frame"
+    (Error
+       {
+         session = 0L;
+         code = Bad_frame;
+         message = "bad version tag 0x7f (expected 0x01)";
+       });
+  rep "rep-error-unknown"
+    (Error
+       { session = 5L; code = Unknown_session; message = "session 5 is not live" })
