@@ -29,11 +29,19 @@
                                                  --network-out PATH)
      dune exec bench/main.exe -- serve        -- sharded session daemon under
                                                  an open-world schedule at
-                                                 10k/100k live sessions, gated
-                                                 on serve = engine and
-                                                 jobs1 = jobsN byte-identity
-                                                 (JSON to BENCH_serve.json, or
+                                                 10k/100k live sessions plus a
+                                                 1M-live streaming point, gated
+                                                 on serve = engine,
+                                                 jobs1 = jobsN and
+                                                 stream = materialized
+                                                 byte-identity (JSON to
+                                                 BENCH_serve.json, or
                                                  --serve-out PATH)
+     dune exec bench/main.exe -- multicore    -- the same serve schedule and
+                                                 experiment sweep at
+                                                 jobs=1/2/4/8, identity-gated
+                                                 (JSON to BENCH_multicore.json,
+                                                 or --multicore-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -1043,7 +1051,8 @@ let run_network ~quick ~out () =
     for u = 0 to n - 1 do
       let row = rmetric.Network_replica.table.(u) in
       for v = 0 to n - 1 do
-        if not (bit_eq row.(v) flat.((u * n) + v)) then ok := false
+        if not (bit_eq row.(v) (Geometry.Fbuf.get flat ((u * n) + v))) then
+          ok := false
       done
     done;
     !ok
@@ -1059,7 +1068,7 @@ let run_network ~quick ~out () =
           not
             (bit_eq
                (Network.Dijkstra.distance lazym u v)
-               flat.((u * n) + v))
+               (Geometry.Fbuf.get flat ((u * n) + v)))
         then ok := false
       done
     done;
@@ -1100,10 +1109,13 @@ let run_network ~quick ~out () =
   Exec.set_jobs saved_jobs;
   let identity_jobs =
     let flat_j2 = Network.Dijkstra.dense_table metric_j2 in
-    let ok = ref (Array.length flat_j2 = Array.length flat) in
+    let ok =
+      ref (Geometry.Fbuf.length flat_j2 = Geometry.Fbuf.length flat)
+    in
     if !ok then
-      for i = 0 to Array.length flat - 1 do
-        if not (bit_eq flat.(i) flat_j2.(i)) then ok := false
+      for i = 0 to Geometry.Fbuf.length flat - 1 do
+        if not (bit_eq (Geometry.Fbuf.get flat i) (Geometry.Fbuf.get flat_j2 i))
+        then ok := false
       done;
     !ok
     && bit_eq sol.Network.Pm_offline.cost sol_j2.Network.Pm_offline.cost
@@ -1198,6 +1210,27 @@ let run_network ~quick ~out () =
    every served trajectory byte-identical to an in-process Engine.run
    replay, and the jobs=1 reply stream byte-identical to jobs=N. *)
 
+type serve_row = {
+  sr_mode : string;  (* "materialized" | "streaming" *)
+  sr_scale : int;
+  sr_ticks : int;
+  sr_fingerprint : string;  (* empty for streaming-only points *)
+  sr_peak : int;
+  sr_sessions : int;
+  sr_steps : int;
+  sr_elapsed : float;
+  sr_sps : float;
+  sr_p99_service_ms : float;
+  sr_p99_sojourn_ms : float;
+  sr_id_engine : bool;
+  sr_id_jobs : bool;
+  sr_id_stream : bool option;
+      (* streaming twin of a materialized scale: reply digests equal *)
+}
+
+let p99_ms a =
+  if Array.length a = 0 then 0.0 else 1e3 *. Stats.Quantile.quantile a 0.99
+
 let run_serve ~quick ~out () =
   let jobs = max 2 (Exec.jobs ()) in
   Printf.printf "\n=== SERVE: sharded session daemon, jobs=%d ===\n\n" jobs;
@@ -1207,35 +1240,57 @@ let run_serve ~quick ~out () =
   let ticks = 24 in
   let lifetime = 16.0 in
   let scales = if quick then [ 500; 2_000 ] else [ 10_000; 100_000 ] in
-  let measure scale =
-    (* initial = scale with arrivals balancing departures keeps the
-       live count pinned near [scale] for the whole horizon. *)
-    let schedule =
-      Workloads.Open_world.generate
-        ~arrival_rate:(float_of_int scale /. lifetime)
-        ~mean_lifetime:lifetime ~initial:scale ~dim ~seed:(41_000 + scale)
-        ~ticks ()
-    in
-    let serve ~jobs ~timed =
-      let daemon = Serve.Daemon.create ~shards ~jobs ~config () in
-      Fun.protect
-        ~finally:(fun () -> Serve.Daemon.shutdown daemon)
-        (fun () ->
-          let t0 = Unix.gettimeofday () in
-          let report =
-            if timed then
-              Serve.Driver.run ~now:Unix.gettimeofday daemon schedule
-            else Serve.Driver.run daemon schedule
-          in
-          (report, Unix.gettimeofday () -. t0))
-    in
-    let report_n, elapsed = serve ~jobs ~timed:true in
-    let report_1, _ = serve ~jobs:1 ~timed:false in
-    let steps_per_sec = float_of_int report_n.Serve.Driver.steps /. elapsed in
-    let p99_ms =
-      if Array.length report_n.Serve.Driver.latencies = 0 then 0.0
-      else 1e3 *. Stats.Quantile.quantile report_n.Serve.Driver.latencies 0.99
-    in
+  (* The streaming engine's scale point: sessions held for the whole
+     (short) horizon, so the daemon sustains [stream_scale] live
+     sessions — 1M in the full run — which only fits because nothing
+     is O(total steps): the schedule streams from its spec, the daemon
+     skips journaling and the driver keeps one digest per session. *)
+  let stream_scale = if quick then 5_000 else 1_000_000 in
+  let stream_ticks = 4 in
+  let spec_at ~scale ~ticks ~lifetime =
+    Workloads.Open_world.spec
+      ~arrival_rate:(float_of_int scale /. lifetime)
+      ~mean_lifetime:lifetime ~initial:scale ~dim ~seed:(41_000 + scale)
+      ~ticks ()
+  in
+  let serve_mat schedule ~jobs ~timed =
+    let daemon = Serve.Daemon.create ~shards ~jobs ~config () in
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.shutdown daemon)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let report =
+          if timed then Serve.Driver.run ~now:Unix.gettimeofday daemon schedule
+          else Serve.Driver.run daemon schedule
+        in
+        (report, Unix.gettimeofday () -. t0))
+  in
+  let serve_stream spec ~jobs ~timed =
+    let daemon = Serve.Daemon.create ~shards ~jobs ~journal:false ~config () in
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.shutdown daemon)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let report =
+          if timed then
+            Serve.Driver.run_stream ~now:Unix.gettimeofday daemon spec
+          else Serve.Driver.run_stream daemon spec
+        in
+        (report, Unix.gettimeofday () -. t0))
+  in
+  let print_row (r : serve_row) =
+    Printf.printf
+      "%-12s %8d live target: peak %8d, %9d steps, %10.0f steps/s, p99 \
+       service %8.4f ms, p99 sojourn %9.3f ms, serve=engine %b, jobs1=jobs%d \
+       %b%s\n%!"
+      r.sr_mode r.sr_scale r.sr_peak r.sr_steps r.sr_sps r.sr_p99_service_ms
+      r.sr_p99_sojourn_ms r.sr_id_engine jobs r.sr_id_jobs
+      (match r.sr_id_stream with
+       | None -> ""
+       | Some b -> Printf.sprintf ", stream=materialized %b" b)
+  in
+  let row_of ~mode ~scale ~ticks ~fingerprint ~id_stream (report_n, elapsed)
+      report_1 =
     let identity_engine =
       Serve.Driver.ok report_n && Serve.Driver.ok report_1
     in
@@ -1246,54 +1301,107 @@ let run_serve ~quick ~out () =
     List.iter
       (fun m -> Printf.printf "  mismatch: %s\n" m)
       (report_n.Serve.Driver.mismatches @ report_1.Serve.Driver.mismatches);
-    Printf.printf
-      "%7d live target: peak %7d, %9d steps, %10.0f steps/s, p99 %8.3f ms, \
-       serve=engine %b, jobs1=jobs%d %b\n%!"
-      scale report_n.Serve.Driver.peak_live report_n.Serve.Driver.steps
-      steps_per_sec p99_ms identity_engine jobs identity_jobs;
-    ( scale,
-      schedule,
-      report_n,
-      elapsed,
-      steps_per_sec,
-      p99_ms,
-      identity_engine,
-      identity_jobs )
+    let row =
+      {
+        sr_mode = mode;
+        sr_scale = scale;
+        sr_ticks = ticks;
+        sr_fingerprint = fingerprint;
+        sr_peak = report_n.Serve.Driver.peak_live;
+        sr_sessions = report_n.Serve.Driver.sessions;
+        sr_steps = report_n.Serve.Driver.steps;
+        sr_elapsed = elapsed;
+        sr_sps = float_of_int report_n.Serve.Driver.steps /. elapsed;
+        sr_p99_service_ms = p99_ms report_n.Serve.Driver.service_latencies;
+        sr_p99_sojourn_ms = p99_ms report_n.Serve.Driver.latencies;
+        sr_id_engine = identity_engine;
+        sr_id_jobs = identity_jobs;
+        sr_id_stream = id_stream;
+      }
+    in
+    print_row row;
+    row
   in
-  let rows = List.map measure scales in
+  let measure scale =
+    (* initial = scale with arrivals balancing departures keeps the
+       live count pinned near [scale] for the whole horizon. *)
+    let spec = spec_at ~scale ~ticks ~lifetime in
+    let schedule = Workloads.Open_world.of_spec spec in
+    let timed_n = serve_mat schedule ~jobs ~timed:true in
+    let report_1, _ = serve_mat schedule ~jobs:1 ~timed:false in
+    (* Stream ≡ materialized gate at the smallest scale: the streaming
+       driver must submit byte-identical frames in the same order, so
+       the chained reply digests must match. *)
+    let id_stream =
+      if scale = List.hd scales then begin
+        let stream_report, _ = serve_stream spec ~jobs ~timed:false in
+        Some
+          (String.equal stream_report.Serve.Driver.reply_digest
+             (fst timed_n).Serve.Driver.reply_digest
+          && Serve.Driver.ok stream_report)
+      end
+      else None
+    in
+    row_of ~mode:"materialized" ~scale ~ticks
+      ~fingerprint:(Workloads.Open_world.fingerprint schedule)
+      ~id_stream timed_n report_1
+  in
+  let measure_stream () =
+    (* Long lifetimes pin every initial session for the whole horizon;
+       the plans are never materialized, so the fingerprint is elided
+       (it would cost the very allocation the point exists to avoid). *)
+    let spec = spec_at ~scale:stream_scale ~ticks:stream_ticks ~lifetime:1e6 in
+    let timed_n = serve_stream spec ~jobs ~timed:true in
+    let report_1, _ = serve_stream spec ~jobs:1 ~timed:false in
+    row_of ~mode:"streaming" ~scale:stream_scale ~ticks:stream_ticks
+      ~fingerprint:"" ~id_stream:None timed_n report_1
+  in
+  let mat_rows = List.map measure scales in
+  let rows = mat_rows @ [ measure_stream () ] in
   Tables.print
     ~title:"serve daemon (sustained, identity-gated)"
     (Tables.create
-       ~aligns:[ Tables.Right; Tables.Right; Tables.Right; Tables.Right ]
-       ~header:[ "live sessions"; "steps"; "steps/sec"; "p99 (ms)" ]
+       ~aligns:
+         [ Tables.Left; Tables.Right; Tables.Right; Tables.Right;
+           Tables.Right; Tables.Right ]
+       ~header:
+         [ "mode"; "live sessions"; "steps"; "steps/sec"; "p99 svc (ms)";
+           "p99 sojourn (ms)" ]
        (List.map
-          (fun (scale, _, r, _, sps, p99, _, _) ->
-            [ Printf.sprintf "%d" scale;
-              Printf.sprintf "%d" r.Serve.Driver.steps;
-              Tables.cell sps; Tables.cell p99 ])
+          (fun r ->
+            [ r.sr_mode;
+              Printf.sprintf "%d" r.sr_scale;
+              Printf.sprintf "%d" r.sr_steps;
+              Tables.cell r.sr_sps;
+              Tables.cell r.sr_p99_service_ms;
+              Tables.cell r.sr_p99_sojourn_ms ])
           rows));
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"msp-bench-serve-v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-serve-v2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf (Printf.sprintf "  \"shards\": %d,\n" shards);
   Buffer.add_string buf (Printf.sprintf "  \"dim\": %d,\n" dim);
-  Buffer.add_string buf (Printf.sprintf "  \"ticks\": %d,\n" ticks);
   Buffer.add_string buf "  \"scales\": [\n";
   List.iteri
-    (fun i (scale, schedule, r, elapsed, sps, p99, id_engine, id_jobs) ->
+    (fun i r ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"live_target\": %d, \"peak_live\": %d, \"sessions\": %d, \
-            \"steps\": %d, \"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, \
-            \"p99_latency_ms\": %.6g, \"schedule_fingerprint\": %S, \
+           "    {\"mode\": %S, \"live_target\": %d, \"ticks\": %d, \
+            \"peak_live\": %d, \"sessions\": %d, \"steps\": %d, \
+            \"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, \
+            \"p99_service_latency_ms\": %.6g, \"p99_sojourn_latency_ms\": \
+            %.6g, \"schedule_fingerprint\": %S, \
             \"identity_serve_vs_engine\": %b, \"identity_jobs1_vs_jobsN\": \
-            %b}%s\n"
-           scale r.Serve.Driver.peak_live r.Serve.Driver.sessions
-           r.Serve.Driver.steps elapsed sps p99
-           (Workloads.Open_world.fingerprint schedule)
-           id_engine id_jobs
+            %b%s}%s\n"
+           r.sr_mode r.sr_scale r.sr_ticks r.sr_peak r.sr_sessions r.sr_steps
+           r.sr_elapsed r.sr_sps r.sr_p99_service_ms r.sr_p99_sojourn_ms
+           r.sr_fingerprint r.sr_id_engine r.sr_id_jobs
+           (match r.sr_id_stream with
+            | None -> ""
+            | Some b ->
+              Printf.sprintf ", \"identity_stream_vs_materialized\": %b" b)
            (if i < List.length rows - 1 then "," else "")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -1305,12 +1413,118 @@ let run_serve ~quick ~out () =
   if
     not
       (List.for_all
-         (fun (_, _, _, _, _, _, id_engine, id_jobs) -> id_engine && id_jobs)
+         (fun r ->
+           r.sr_id_engine && r.sr_id_jobs
+           && (match r.sr_id_stream with None -> true | Some b -> b))
          rows)
   then begin
     prerr_endline
       "FATAL: serve daemon output is not byte-identical to the in-process \
-       engine (or jobs=1 differs from jobs=N)";
+       engine (or jobs=1 differs from jobs=N, or streaming differs from \
+       materialized)";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Multicore matrix: the same fixed work at jobs = 1/2/4/8 — a serve
+   schedule (shard-drain parallelism) and one Exec-pooled experiment
+   sweep — recording wall clock per cell and gating on byte-identical
+   output across the whole matrix (the Exec determinism contract).
+   Speedups are honest for whatever box runs this: on a single
+   hardware thread they hover around 1x. *)
+
+let multicore_jobs = [ 1; 2; 4; 8 ]
+
+let run_multicore ~quick ~out () =
+  Printf.printf "\n=== MULTICORE: jobs=1/2/4/8 matrix ===\n\n";
+  let config = MS.Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.5 () in
+  let scale = if quick then 1_000 else 20_000 in
+  let schedule =
+    Workloads.Open_world.generate ~arrival_rate:(float_of_int scale /. 16.0)
+      ~mean_lifetime:16.0 ~initial:scale ~dim:2 ~seed:(43_000 + scale)
+      ~ticks:12 ()
+  in
+  let experiment = "e4" in
+  let cells =
+    List.map
+      (fun jobs ->
+        let daemon = Serve.Daemon.create ~shards:8 ~jobs ~config () in
+        let serve_s, digest =
+          Fun.protect
+            ~finally:(fun () -> Serve.Daemon.shutdown daemon)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let report = Serve.Driver.run daemon schedule in
+              (Unix.gettimeofday () -. t0, report.Serve.Driver.reply_digest))
+        in
+        Exec.set_jobs jobs;
+        (* Every cell pays cold solves — otherwise the first cell warms
+           the OPT cache and later cells report a phantom speedup. *)
+        Offline.Opt_cache.clear ();
+        let t0 = Unix.gettimeofday () in
+        let result = Experiments.Catalog.run ~quick experiment in
+        let exp_s = Unix.gettimeofday () -. t0 in
+        let exp_report = Experiments.Catalog.result_to_markdown result in
+        Printf.printf
+          "jobs=%d   serve %6.2fs   %s %6.2fs\n%!" jobs serve_s experiment
+          exp_s;
+        (jobs, serve_s, digest, exp_s, exp_report))
+      multicore_jobs
+  in
+  Exec.set_jobs (Exec.default_jobs ());
+  let _, base_serve, base_digest, base_exp, base_report = List.hd cells in
+  let identical =
+    List.for_all
+      (fun (_, _, digest, _, report) ->
+        String.equal digest base_digest && String.equal report base_report)
+      cells
+  in
+  Tables.print ~title:"multicore scaling (identity-gated)"
+    (Tables.create
+       ~aligns:[ Tables.Right; Tables.Right; Tables.Right; Tables.Right;
+                 Tables.Right ]
+       ~header:[ "jobs"; "serve (s)"; "speedup"; experiment ^ " (s)";
+                 "speedup" ]
+       (List.map
+          (fun (jobs, serve_s, _, exp_s, _) ->
+            [ Printf.sprintf "%d" jobs;
+              Tables.cell serve_s;
+              Tables.cell (if serve_s > 0.0 then base_serve /. serve_s else 1.0);
+              Tables.cell exp_s;
+              Tables.cell (if exp_s > 0.0 then base_exp /. exp_s else 1.0) ])
+          cells));
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-multicore-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"serve_live_target\": %d,\n" scale);
+  Buffer.add_string buf (Printf.sprintf "  \"experiment\": %S,\n" experiment);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identical_output\": %b,\n" identical);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (jobs, serve_s, digest, exp_s, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"serve_seconds\": %.6g, \"serve_speedup\": \
+            %.6g, \"experiment_seconds\": %.6g, \"experiment_speedup\": \
+            %.6g, \"serve_reply_digest\": %S}%s\n"
+           jobs serve_s
+           (if serve_s > 0.0 then base_serve /. serve_s else 1.0)
+           exp_s
+           (if exp_s > 0.0 then base_exp /. exp_s else 1.0)
+           digest
+           (if i < List.length cells - 1 then "," else "")))
+    cells;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "multicore report written to %s\n" out;
+  if not identical then begin
+    prerr_endline "FATAL: multicore output differs across jobs counts";
     exit 1
   end
 
@@ -1381,6 +1595,7 @@ let () =
   let solver_out = ref "BENCH_solver.json" in
   let network_out = ref "BENCH_network.json" in
   let serve_out = ref "BENCH_serve.json" in
+  let multicore_out = ref "BENCH_multicore.json" in
   let golden_path = ref Experiments.Golden.golden_path in
   let rec strip = function
     | [] -> []
@@ -1410,6 +1625,9 @@ let () =
     | "--serve-out" :: path :: rest ->
       serve_out := path;
       strip rest
+    | "--multicore-out" :: path :: rest ->
+      multicore_out := path;
+      strip rest
     | "--golden" :: path :: rest ->
       golden_path := path;
       strip rest
@@ -1431,6 +1649,7 @@ let () =
        | "solver" -> run_solver ~quick ~out:!solver_out ()
        | "network" -> run_network ~quick ~out:!network_out ()
        | "serve" -> run_serve ~quick ~out:!serve_out ()
+       | "multicore" -> run_multicore ~quick ~out:!multicore_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

@@ -73,6 +73,49 @@ let total_cost ?rng config alg inst =
   iter ?rng config alg inst (fun { cost; _ } -> total := Cost.add !total cost);
   Cost.total !total
 
+type stream_summary = {
+  s_algorithm : string;
+  s_rounds : int;
+  s_clamped : int;
+  s_cost : Cost.breakdown;
+  s_final : Vec.t;
+}
+
+(* Streaming run: rounds come from a generator instead of an instance
+   array, and no trajectory is retained — live state is the stepper,
+   the current position and the running totals, independent of
+   [rounds].  The per-round sequence (stepper, clamp test, clamp, cost,
+   position update, totals) is exactly [iter]'s followed by [run]'s
+   fold, so on [fun r -> inst.steps.(r)] the summary is bit-identical
+   to [run]'s — the stream≡materialized identity test pins this. *)
+let run_stream ?rng ?trace config (alg : Algorithm.t) ~start ~rounds next =
+  if rounds < 0 then invalid_arg "Engine.run_stream: rounds < 0";
+  let stepper = alg.make ?rng config ~start in
+  let limit = Config.online_limit config in
+  let pos = ref start in
+  let total = ref Cost.zero in
+  let clamped = ref 0 in
+  for round = 0 to rounds - 1 do
+    let requests = next round in
+    let proposed = stepper requests in
+    let c = exceeds_limit ~from:!pos ~limit proposed in
+    let next_pos = next_position ~from:!pos ~limit proposed in
+    let cost = Cost.step config ~from:!pos ~to_:next_pos requests in
+    pos := next_pos;
+    if c then incr clamped;
+    total := Cost.add !total cost;
+    match trace with
+    | None -> ()
+    | Some f -> f { round; position = next_pos; proposed; clamped = c; cost }
+  done;
+  {
+    s_algorithm = alg.name;
+    s_rounds = rounds;
+    s_clamped = !clamped;
+    s_cost = !total;
+    s_final = Vec.copy !pos;
+  }
+
 (* Packed replay: per-round request views are materialized into a
    fixed set of scratch vectors, so no request is boxed per round and
    no per-round array is allocated.  [views.(r)] shares the first [r]

@@ -42,6 +42,32 @@ val total_cost :
 (** [total_cost config alg inst] is [Cost.total (run ...).cost] without
     retaining the trajectory. *)
 
+type stream_summary = {
+  s_algorithm : string;
+  s_rounds : int;  (** Rounds played. *)
+  s_clamped : int;  (** Rounds whose proposal was clamped. *)
+  s_cost : Cost.breakdown;  (** Total cost over the run. *)
+  s_final : Geometry.Vec.t;  (** Server position after the last round. *)
+}
+
+val run_stream :
+  ?rng:Prng.Xoshiro.t -> ?trace:(step_record -> unit) -> Config.t ->
+  Algorithm.t -> start:Geometry.Vec.t -> rounds:int ->
+  (int -> Geometry.Vec.t array) -> stream_summary
+(** [run_stream config alg ~start ~rounds next] plays [rounds] rounds
+    whose requests come from [next] (called once per round, in round
+    order) without materializing an instance or a trajectory: live
+    state is O(1) in [rounds] — the algorithm's stepper, the current
+    position and the running totals — so a single session can stream
+    [T = 10^7] rounds in constant memory.  [next round] is consumed
+    within the round; the engine does not retain it.  The per-round
+    arithmetic and its order are exactly {!iter}'s, so on
+    [fun r -> inst.steps.(r)] the summary fields are bit-identical to
+    {!run}'s totals on [inst] (pinned by the stream≡materialized
+    test).  [trace], when given, receives each round's {!step_record}
+    — sampling hooks for long horizons; the record's vectors are fresh
+    per round.  Raises [Invalid_argument] if [rounds < 0]. *)
+
 val iter_packed :
   ?rng:Prng.Xoshiro.t -> Config.t -> Algorithm.t -> Instance.Packed.t ->
   (step_record -> unit) -> unit

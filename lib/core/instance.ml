@@ -26,6 +26,12 @@ module Packed = struct
     points : Geometry.Points.t;  (* all requests, rounds concatenated *)
     offsets : int array;  (* length T+1; round t is points [offsets.(t),
                              offsets.(t+1)) *)
+    mutable digest : string option;
+        (* memoized MD5 of [serialize] — a packed instance is immutable
+           after [pack], so the digest is computed at most once per
+           value.  Unsynchronized on purpose: racing domains can only
+           store the same immutable string (pointer stores are atomic
+           words), so the benign race never yields a wrong digest. *)
   }
 
   let dim p = Vec.dim p.start
@@ -47,10 +53,11 @@ module Packed = struct
      — two packed instances serialize equally iff every coordinate is
      bit-identical. *)
   let serialize p =
+    let data = Geometry.Points.raw p.points in
+    let n_data = Geometry.Fbuf.length data in
     let buf =
       Buffer.create
-        (8 * (3 + Array.length p.offsets + Vec.dim p.start
-              + Array.length (Geometry.Points.raw p.points)))
+        (8 * (3 + Array.length p.offsets + Vec.dim p.start + n_data))
     in
     let add_int n = Buffer.add_int64_le buf (Int64.of_int n) in
     let add_float f = Buffer.add_int64_le buf (Int64.bits_of_float f) in
@@ -59,8 +66,21 @@ module Packed = struct
     add_int (total_requests p);
     Array.iter add_int p.offsets;
     Array.iter add_float p.start;
-    Array.iter add_float (Geometry.Points.raw p.points);
+    for i = 0 to n_data - 1 do
+      add_float (Geometry.Fbuf.get data i)
+    done;
     Buffer.contents buf
+
+  (* Content digest for cache keys: MD5 of [serialize], computed once
+     per value.  Keying by the digest instead of the bytes lets warm
+     cache hits skip re-serializing the instance entirely. *)
+  let content_digest p =
+    match p.digest with
+    | Some d -> d
+    | None ->
+      let d = Digest.string (serialize p) in
+      p.digest <- Some d;
+      d
 end
 
 let pack inst =
@@ -77,7 +97,7 @@ let pack inst =
         (fun i v -> Geometry.Points.set points (offsets.(t) + i) v)
         round)
     inst.steps;
-  { Packed.start = Vec.copy inst.start; points; offsets }
+  { Packed.start = Vec.copy inst.start; points; offsets; digest = None }
 
 let unpack (p : Packed.t) =
   make ~start:p.Packed.start

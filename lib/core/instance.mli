@@ -60,6 +60,11 @@ module Packed : sig
       bit patterns, little-endian): two packed instances serialize
       equally iff they are bit-identical.  Content-addressing key
       material for {!Offline.Opt_cache}-style memoisation. *)
+
+  val content_digest : t -> string
+  (** MD5 of {!serialize}, memoized on the (immutable) value — repeat
+      cache lookups on the same instance pay serialization once, not
+      per lookup.  Equal digests ⇔ equal serializations (modulo MD5). *)
 end
 
 val pack : t -> Packed.t

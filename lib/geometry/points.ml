@@ -1,43 +1,45 @@
-(* Struct-of-arrays point storage: one flat float buffer instead of an
-   array of boxed coordinate arrays.  The reduction kernels reproduce
-   the arithmetic of their [Vec] counterparts bit for bit (see the
-   notes on each), so callers can switch representations without
-   perturbing a single rounding step. *)
+(* Struct-of-arrays point storage: one flat float64 buffer instead of
+   an array of boxed coordinate arrays.  The buffer is an [Fbuf.t]
+   (Bigarray, c_layout), so multi-MB instances sit outside the OCaml
+   heap; the reduction kernels reproduce the arithmetic of their [Vec]
+   counterparts bit for bit (see the notes on each), so callers can
+   switch representations without perturbing a single rounding step. *)
 
-type t = { dim : int; data : float array }
+type t = { dim : int; data : Fbuf.t }
 
 let create ~dim count =
   if dim <= 0 then invalid_arg "Points.create: dimension must be positive";
   if count < 0 then invalid_arg "Points.create: negative count";
-  { dim; data = Array.make (count * dim) 0.0 }
+  { dim; data = Fbuf.create (count * dim) }
 
 let dim t = t.dim
 
-let count t = Array.length t.data / t.dim
+let count t = Fbuf.length t.data / t.dim
 
 let raw t = t.data
 
 let check_index name t i =
-  if i < 0 || (i + 1) * t.dim > Array.length t.data then
+  if i < 0 || (i + 1) * t.dim > Fbuf.length t.data then
     invalid_arg (Printf.sprintf "Points.%s: index %d out of bounds" name i)
 
-let coord t i c = t.data.((i * t.dim) + c)
+let coord t i c = Fbuf.get t.data ((i * t.dim) + c)
 
 let set t i (v : Vec.t) =
   check_index "set" t i;
   if Array.length v <> t.dim then
     invalid_arg "Points.set: dimension mismatch";
-  Array.blit v 0 t.data (i * t.dim) t.dim
+  Fbuf.blit_from_array v 0 t.data (i * t.dim) t.dim
 
 let get_into t i (dst : Vec.t) =
   check_index "get_into" t i;
   if Array.length dst <> t.dim then
     invalid_arg "Points.get_into: dimension mismatch";
-  Array.blit t.data (i * t.dim) dst 0 t.dim
+  Fbuf.blit_to_array t.data (i * t.dim) dst 0 t.dim
 
 let get t i =
   check_index "get" t i;
-  Array.sub t.data (i * t.dim) t.dim
+  let base = i * t.dim in
+  Array.init t.dim (fun c -> Fbuf.get t.data (base + c))
 
 let of_vecs ~dim:d vs =
   let t = create ~dim:d (Array.length vs) in
@@ -55,7 +57,7 @@ let dist t i (v : Vec.t) =
   let data = t.data in
   let m = ref 0.0 in
   for c = 0 to d - 1 do
-    m := Float.max !m (Float.abs (v.(c) -. data.(base + c)))
+    m := Float.max !m (Float.abs (v.(c) -. Fbuf.get data (base + c)))
   done;
   let m = !m in
   if Float.equal m 0.0 then 0.0
@@ -63,7 +65,7 @@ let dist t i (v : Vec.t) =
   else begin
     let acc = ref 0.0 in
     for c = 0 to d - 1 do
-      let x = (v.(c) -. data.(base + c)) /. m in
+      let x = (v.(c) -. Fbuf.get data (base + c)) /. m in
       acc := !acc +. (x *. x)
     done;
     m *. sqrt !acc
@@ -88,11 +90,11 @@ let centroid_into t ~lo ~hi (dst : Vec.t) =
     invalid_arg "Points.centroid_into: dimension mismatch";
   let d = t.dim in
   let data = t.data in
-  Array.blit data (lo * d) dst 0 d;
+  Fbuf.blit_to_array data (lo * d) dst 0 d;
   for i = lo + 1 to hi - 1 do
     let base = i * d in
     for c = 0 to d - 1 do
-      dst.(c) <- dst.(c) +. data.(base + c)
+      dst.(c) <- dst.(c) +. Fbuf.get data (base + c)
     done
   done;
   let k = 1.0 /. float_of_int n in

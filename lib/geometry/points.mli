@@ -1,10 +1,11 @@
 (** Flat struct-of-arrays point storage.
 
     A [Points.t] holds [count] points of a fixed dimension in one
-    contiguous [float array] — point [i]'s coordinate [c] lives at
-    index [i·dim + c].  Hot loops (offline solvers, the engine's
-    per-round request view) iterate this buffer directly instead of
-    chasing one boxed [float array] per point.
+    contiguous {!Fbuf.t} (Bigarray float64, outside the OCaml heap) —
+    point [i]'s coordinate [c] lives at index [i·dim + c].  Hot loops
+    (offline solvers, the engine's per-round request view) iterate this
+    buffer directly instead of chasing one boxed [float array] per
+    point, and the GC never scans or moves the coordinates.
 
     {b Bit-identity contract.}  Every reduction kernel here reproduces
     the arithmetic of its boxed {!Vec} counterpart exactly — the same
@@ -29,7 +30,7 @@ val dim : t -> int
 val count : t -> int
 (** Number of points. *)
 
-val raw : t -> float array
+val raw : t -> Fbuf.t
 [@@borrow]
 (** The backing buffer, of length [count · dim] — a {e borrow}, not a
     copy.  Callers may read it directly (the 1-D solvers do) but must

@@ -129,21 +129,21 @@ let single_source g s =
   dist
 
 (* A metric is either the densified closure — one flat row-major n²
-   array, row [u] at offset [u·n] — or a lazy row store that runs
-   Dijkstra per requested source and keeps the most recent rows in a
-   mutex-guarded LRU (for graphs too big to densify).  Rows are
-   immutable once computed, so a borrowed row stays valid even after
-   the cache evicts it. *)
+   Bigarray ({!Geometry.Fbuf.t}, outside the OCaml heap), row [u] at
+   offset [u·n] — or a lazy row store that runs Dijkstra per requested
+   source and keeps the most recent rows in a mutex-guarded LRU (for
+   graphs too big to densify).  Rows are immutable once computed, so a
+   borrowed row stays valid even after the cache evicts it. *)
 type lazy_rows = {
   graph : Graph.t;
   capacity : int;
   lock : Mutex.t;
-  rows : (int, float array * int ref) Hashtbl.t; [@guarded_by lock]
+  rows : (int, Geometry.Fbuf.t * int ref) Hashtbl.t; [@guarded_by lock]
   clock : int ref; [@guarded_by lock]
 }
 
 type metric =
-  | Dense of { n : int; flat : float array }
+  | Dense of { n : int; flat : Geometry.Fbuf.t }
   | Lazy of { n : int; state : lazy_rows }
 
 let size = function Dense { n; _ } -> n | Lazy { n; _ } -> n
@@ -159,7 +159,7 @@ let block_size = 16
 
 let dense_of_graph g =
   let n = Graph.nodes g in
-  let flat = Array.make (n * n) 0.0 in
+  let flat = Geometry.Fbuf.create (n * n) in
   let blocks = (n + block_size - 1) / block_size in
   let compute_block b =
     let heap = Heap.create n in
@@ -168,7 +168,7 @@ let dense_of_graph g =
     let hi = Stdlib.min n (lo + block_size) - 1 in
     for s = lo to hi do
       run_into g heap row s;
-      Array.blit row 0 flat (s * n) n
+      Geometry.Fbuf.blit_from_array row 0 flat (s * n) n
     done
   in
   ignore (Exec.map compute_block (Array.init blocks Fun.id));
@@ -237,8 +237,10 @@ let lazy_row state s =
         row
       | None ->
         let n = Graph.nodes state.graph in
-        let row = Array.make n infinity in
-        run_into state.graph (Heap.create n) row s;
+        let scratch = Array.make n infinity in
+        run_into state.graph (Heap.create n) scratch s;
+        (* Same IEEE values, copied verbatim into an off-heap row. *)
+        let row = Geometry.Fbuf.of_array scratch in
         Hashtbl.replace state.rows s (row, ref !(state.clock));
         evict_over_capacity state;
         row)
@@ -269,8 +271,8 @@ let distance m u v =
   if u < 0 || u >= n || v < 0 || v >= n then
     invalid_arg "Dijkstra.distance: node out of range";
   match m with
-  | Dense { flat; _ } -> flat.((u * n) + v)
-  | Lazy { state; _ } -> (lazy_row state u).(v)
+  | Dense { flat; _ } -> Geometry.Fbuf.get flat ((u * n) + v)
+  | Lazy { state; _ } -> Geometry.Fbuf.get (lazy_row state u) v
 
 let dense_table = function
   | Dense { flat; _ } -> flat
@@ -281,11 +283,17 @@ let diameter m =
   let best = ref 0.0 in
   (match m with
    | Dense { flat; _ } ->
-     Array.iter (fun d -> if d > !best then best := d) flat
+     for i = 0 to Geometry.Fbuf.length flat - 1 do
+       let d = Geometry.Fbuf.get flat i in
+       if d > !best then best := d
+     done
    | Lazy { state; _ } ->
      for u = 0 to n - 1 do
        let row = lazy_row state u in
-       Array.iter (fun d -> if d > !best then best := d) row
+       for i = 0 to Geometry.Fbuf.length row - 1 do
+         let d = Geometry.Fbuf.get row i in
+         if d > !best then best := d
+       done
      done);
   !best
 

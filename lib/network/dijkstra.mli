@@ -3,7 +3,8 @@
     The Page Migration cost model charges graph distances for both
     requests and migrations, so the engine precomputes the metric
     closure once per graph.  A metric is either {e dense} — the whole
-    closure in one flat row-major [n²] float array, built by
+    closure in one flat row-major [n²] {!Geometry.Fbuf.t} (Bigarray
+    float64, outside the OCaml heap so the GC never scans it), built by
     {!all_pairs} with the per-source sweeps fanned out over the
     {!Exec} pool — or {e lazy} ({!lazy_metric}): single-source rows
     computed on demand and kept in a small LRU, for graphs too big to
@@ -11,7 +12,7 @@
     identical values (the same per-source relaxations produce every
     row); dense trades memory for zero recomputation.
 
-    Row ownership (see docs/network.md): arrays handed out by {!row}
+    Row ownership (see docs/network.md): buffers handed out by {!row}
     and {!dense_table} are borrowed, read-only views owned by the
     metric.  They are never mutated after construction, so a borrowed
     row stays valid indefinitely — even if the lazy LRU has since
@@ -54,15 +55,15 @@ val to_dense : metric -> metric
 val distance : metric -> int -> int -> float
 (** [distance m u v] is the shortest-path distance. *)
 
-val row : metric -> int -> float array * int
+val row : metric -> int -> Geometry.Fbuf.t * int
 [@@borrow]
-(** [row m u] is [(arr, base)] with [arr.(base + v) = distance m u v]:
-    a zero-copy view of row [u] (the flat table itself for a dense
-    metric, the cached row for a lazy one).  Borrowed and read-only;
-    hot loops fetch a row once and index it directly instead of
-    calling {!distance} per pair. *)
+(** [row m u] is [(buf, base)] with [Fbuf.get buf (base + v) =
+    distance m u v]: a zero-copy view of row [u] (the flat table itself
+    for a dense metric, the cached row for a lazy one).  Borrowed and
+    read-only; hot loops fetch a row once and index it directly instead
+    of calling {!distance} per pair. *)
 
-val dense_table : metric -> float array
+val dense_table : metric -> Geometry.Fbuf.t
 [@@borrow]
 (** The flat row-major [n²] table of a dense metric ([u·n + v] is
     [distance m u v]).  Borrowed and read-only.  Raises

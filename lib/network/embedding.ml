@@ -23,7 +23,7 @@ let round_trip_gap ~metric ~layout =
   for u = 0 to n - 1 do
     let row, base = Dijkstra.row metric u in
     for v = u + 1 to n - 1 do
-      let graph_d = row.(base + v) in
+      let graph_d = Geometry.Fbuf.get row (base + v) in
       let euclid_d = Vec.dist layout.(u) layout.(v) in
       if euclid_d > 1e-12 then begin
         let gap = (graph_d -. euclid_d) /. euclid_d in

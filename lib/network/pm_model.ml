@@ -48,11 +48,13 @@ let run ?rng metric ~d_factor (alg : algorithm) inst =
       if target < 0 || target >= n then
         invalid_arg (alg.name ^ ": migrated out of the graph");
       let from_row, from_base = Dijkstra.row metric !page in
-      move := !move +. (d_factor *. from_row.(from_base + target));
+      move :=
+        !move
+        +. (d_factor *. Geometry.Fbuf.get from_row (from_base + target));
       page := target;
       let row, base = Dijkstra.row metric target in
       Array.iter
-        (fun v -> service := !service +. row.(base + v))
+        (fun v -> service := !service +. Geometry.Fbuf.get row (base + v))
         requests;
       positions.(t) <- target)
     inst.rounds;
@@ -72,11 +74,13 @@ let replay metric ~d_factor ~start positions inst =
   Array.iteri
     (fun t target ->
       let from_row, from_base = Dijkstra.row metric !page in
-      move := !move +. (d_factor *. from_row.(from_base + target));
+      move :=
+        !move
+        +. (d_factor *. Geometry.Fbuf.get from_row (from_base + target));
       page := target;
       let row, base = Dijkstra.row metric target in
       Array.iter
-        (fun v -> service := !service +. row.(base + v))
+        (fun v -> service := !service +. Geometry.Fbuf.get row (base + v))
         inst.rounds.(t))
     positions;
   !move +. !service

@@ -18,10 +18,14 @@ let solve metric ~d_factor (inst : Pm_model.instance) =
   let metric = Dijkstra.to_dense metric in
   let flat = Dijkstra.dense_table metric in
   let n = Dijkstra.size metric in
-  let value = Array.make n infinity in
-  value.(inst.Pm_model.start) <- 0.0;
+  (* Value + next rows live off-heap ({!Geometry.Fbuf.t}); same IEEE
+     values in the same order, so the DP is bit-identical to the boxed
+     version. *)
+  let value = Geometry.Fbuf.create n in
+  Geometry.Fbuf.fill value infinity;
+  Geometry.Fbuf.set value inst.Pm_model.start 0.0;
   let parents = Array.make_matrix t_len n 0 in
-  let next = Array.make n 0.0 in
+  let next = Geometry.Fbuf.create n in
   let blocks = (n + block_size - 1) / block_size in
   let block_ids = Array.init blocks Fun.id in
   for t = 0 to t_len - 1 do
@@ -34,7 +38,8 @@ let solve metric ~d_factor (inst : Pm_model.instance) =
         let base_x = x * n in
         let service = ref 0.0 in
         Array.iter
-          (fun v -> service := !service +. flat.(base_x + v))
+          (fun v ->
+            service := !service +. Geometry.Fbuf.get flat (base_x + v))
           requests;
         let best = ref infinity and best_y = ref 0 in
         (* d(y, x) read at its historical position y·n + x: the same
@@ -43,8 +48,11 @@ let solve metric ~d_factor (inst : Pm_model.instance) =
            unchanged. *)
         let idx = ref x in
         for y = 0 to n - 1 do
-          if Float.is_finite value.(y) then begin
-            let c = value.(y) +. (d_factor *. flat.(!idx)) in
+          if Float.is_finite (Geometry.Fbuf.get value y) then begin
+            let c =
+              Geometry.Fbuf.get value y
+              +. (d_factor *. Geometry.Fbuf.get flat !idx)
+            in
             if c < !best then begin
               best := c;
               best_y := y
@@ -52,16 +60,17 @@ let solve metric ~d_factor (inst : Pm_model.instance) =
           end;
           idx := !idx + n
         done;
-        next.(x) <- !best +. !service;
+        Geometry.Fbuf.set next x (!best +. !service);
         parents_t.(x) <- !best_y
       done
     in
     ignore (Exec.map compute_block block_ids);
-    Array.blit next 0 value 0 n
+    Geometry.Fbuf.blit next 0 value 0 n
   done;
   let best_x = ref 0 in
   for x = 1 to n - 1 do
-    if value.(x) < value.(!best_x) then best_x := x
+    if Geometry.Fbuf.get value x < Geometry.Fbuf.get value !best_x then
+      best_x := x
   done;
   let positions = Array.make t_len 0 in
   let x = ref !best_x in
@@ -69,7 +78,7 @@ let solve metric ~d_factor (inst : Pm_model.instance) =
     positions.(t) <- !x;
     x := parents.(t).(!x)
   done;
-  { cost = value.(!best_x); positions }
+  { cost = Geometry.Fbuf.get value !best_x; positions }
 
 let optimum metric ~d_factor inst = (solve metric ~d_factor inst).cost
 

@@ -53,7 +53,7 @@ let hull_1d (p : Instance.Packed.t) =
   let data = Points.raw (Instance.Packed.points p) in
   let lo = ref start and hi = ref start in
   for i = 0 to Instance.Packed.total_requests p - 1 do
-    let x = data.(i) in
+    let x = Geometry.Fbuf.get data i in
     if x < !lo then lo := x;
     if x > !hi then hi := x
   done;

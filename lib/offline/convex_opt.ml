@@ -81,24 +81,29 @@ let unit_towards a b =
   | None -> Vec.zero (Vec.dim a)
 
 (* Subgradient of the total cost at [positions], accumulated in place
-   into the caller-owned rows of [grad] ([dvec] is dim-sized scratch
-   for difference vectors).  Replicates the allocating formulation
-   term for term: each pull adds [w · ((1/n) · d_c)] with
-   [n = ‖d‖] computed by [Vec.norm] and pulls with [n < 1e-300]
-   skipped (adding the zero vector cannot flip any accumulator sign:
-   the rows start at +0.0 and IEEE addition only yields -0.0 from two
-   negative zeros, so the skip is bit-identical). *)
-let subgradient_into config (p : Instance.Packed.t) positions ~grad ~dvec =
+   into the caller-owned flat [grad] buffer — row [t] is the slice
+   [t·dim, (t+1)·dim) of an {!Geometry.Fbuf.t}, so the whole gradient
+   sits outside the OCaml heap ([dvec] is dim-sized scratch for
+   difference vectors).  Replicates the allocating formulation term for
+   term: each pull adds [w · ((1/n) · d_c)] with [n = ‖d‖] computed by
+   [Vec.norm] and pulls with [n < 1e-300] skipped (adding the zero
+   vector cannot flip any accumulator sign: the rows start at +0.0 and
+   IEEE addition only yields -0.0 from two negative zeros, so the skip
+   is bit-identical). *)
+let subgradient_into config (p : Instance.Packed.t) positions
+    ~(grad : Geometry.Fbuf.t) ~dvec =
   let t_len = Array.length positions in
   let d_factor = config.Config.d_factor in
   let data = Geometry.Points.raw (Instance.Packed.points p) in
   let dim = Array.length dvec in
   let start = Instance.Packed.start p in
   for t = 0 to t_len - 1 do
-    let g = grad.(t) in
-    Array.fill g 0 dim 0.0;
+    let gbase = t * dim in
+    for c = 0 to dim - 1 do
+      Geometry.Fbuf.set grad (gbase + c) 0.0
+    done;
     let x = positions.(t) in
-    (* Accumulate w · unit(x − a) into g for a boxed anchor a. *)
+    (* Accumulate w · unit(x − a) into row t for a boxed anchor a. *)
     let pull_vec w (a : Vec.t) =
       for c = 0 to dim - 1 do
         dvec.(c) <- x.(c) -. a.(c)
@@ -106,7 +111,9 @@ let subgradient_into config (p : Instance.Packed.t) positions ~grad ~dvec =
       let n = Vec.norm dvec in
       if n >= 1e-300 then
         for c = 0 to dim - 1 do
-          g.(c) <- g.(c) +. (w *. ((1.0 /. n) *. dvec.(c)))
+          Geometry.Fbuf.set grad (gbase + c)
+            (Geometry.Fbuf.get grad (gbase + c)
+             +. (w *. ((1.0 /. n) *. dvec.(c))))
         done
     in
     (* Movement into round t. *)
@@ -119,18 +126,33 @@ let subgradient_into config (p : Instance.Packed.t) positions ~grad ~dvec =
     for i = lo to hi - 1 do
       let base = i * dim in
       for c = 0 to dim - 1 do
-        dvec.(c) <- x.(c) -. data.(base + c)
+        dvec.(c) <- x.(c) -. Geometry.Fbuf.get data (base + c)
       done;
       let n = Vec.norm dvec in
       if n >= 1e-300 then
         for c = 0 to dim - 1 do
-          g.(c) <- g.(c) +. (1.0 *. ((1.0 /. n) *. dvec.(c)))
+          Geometry.Fbuf.set grad (gbase + c)
+            (Geometry.Fbuf.get grad (gbase + c)
+             +. (1.0 *. ((1.0 /. n) *. dvec.(c))))
         done
     done
   done
 
-let grad_norm grad =
-  sqrt (Array.fold_left (fun acc g -> acc +. Vec.norm2 g) 0.0 grad)
+(* Bit-identical to [sqrt (Σ_t Vec.norm2 grad_row_t)] on the boxed
+   rows: per row a left-to-right Σ g_c·g_c ([Vec.dot v v]), rows
+   accumulated in order. *)
+let grad_norm (grad : Geometry.Fbuf.t) ~t_len ~dim =
+  let acc = ref 0.0 in
+  for t = 0 to t_len - 1 do
+    let base = t * dim in
+    let row = ref 0.0 in
+    for c = 0 to dim - 1 do
+      let g = Geometry.Fbuf.get grad (base + c) in
+      row := !row +. (g *. g)
+    done;
+    acc := !acc +. !row
+  done;
+  sqrt !acc
 
 (* Project [p] into B(a, limit) ∩ B(b, limit) by a few alternating
    projections; both balls have the same radius, and the intersection
@@ -329,8 +351,9 @@ let solve_core ~max_iter ~sweeps (config : Config.t) (inst : Instance.t)
   if t_len = 0 then invalid_arg "Convex_opt.solve: empty instance";
   let limit = Config.offline_limit config in
   let dim = Instance.Packed.dim packed in
-  (* Solver-level scratch: gradient rows, difference vector, centroid. *)
-  let grad = Array.init t_len (fun _ -> Array.make dim 0.0) in
+  (* Solver-level scratch: flat gradient buffer (t_len rows of dim
+     doubles, outside the OCaml heap), difference vector, centroid. *)
+  let grad = Geometry.Fbuf.create (t_len * dim) in
   let dvec = Array.make dim 0.0 in
   let cvec = Array.make dim 0.0 in
   let best = ref (warm_start config packed ~limit ~cvec) in
@@ -349,13 +372,13 @@ let solve_core ~max_iter ~sweeps (config : Config.t) (inst : Instance.t)
        for k = 1 to iters do
          incr iterations;
          subgradient_into config packed x ~grad ~dvec;
-         let gn = grad_norm grad in
+         let gn = grad_norm grad ~t_len ~dim in
          if gn < 1e-12 then raise Exit;
          let alpha = scale /. (gn *. sqrt (float_of_int k)) in
          for t = 0 to t_len - 1 do
-           let xt = x.(t) and g = grad.(t) in
+           let xt = x.(t) and gbase = t * dim in
            for c = 0 to dim - 1 do
-             xt.(c) <- xt.(c) -. (alpha *. g.(c))
+             xt.(c) <- xt.(c) -. (alpha *. Geometry.Fbuf.get grad (gbase + c))
            done
          done;
          let prev = ref start in

@@ -1,4 +1,5 @@
 module Vec = Geometry.Vec
+module Fbuf = Geometry.Fbuf
 module Config = Mobile_server.Config
 module Instance = Mobile_server.Instance
 module Variant = Mobile_server.Variant
@@ -13,8 +14,10 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
    sorted prefix is exactly what [Array.sort Float.compare] would
    produce on an exact-length array (the sorted sequence of a float
    multiset is unique under a total order), so the solver can sort into
-   a reusable scratch buffer longer than the round. *)
-let sort_prefix a n =
+   a reusable scratch buffer longer than the round.  The buffer is an
+   {!Fbuf.t}; same comparisons, same swaps, same permutation as the
+   boxed version. *)
+let sort_prefix (a : Fbuf.t) n =
   let sift root len =
     let j = ref root in
     let continue = ref true in
@@ -23,13 +26,14 @@ let sort_prefix a n =
       if l >= len then continue := false
       else begin
         let big =
-          if l + 1 < len && Float.compare a.(l + 1) a.(l) > 0 then l + 1
+          if l + 1 < len && Float.compare (Fbuf.get a (l + 1)) (Fbuf.get a l) > 0
+          then l + 1
           else l
         in
-        if Float.compare a.(big) a.(!j) > 0 then begin
-          let tmp = a.(big) in
-          a.(big) <- a.(!j);
-          a.(!j) <- tmp;
+        if Float.compare (Fbuf.get a big) (Fbuf.get a !j) > 0 then begin
+          let tmp = Fbuf.get a big in
+          Fbuf.set a big (Fbuf.get a !j);
+          Fbuf.set a !j tmp;
           j := big
         end
         else continue := false
@@ -40,9 +44,9 @@ let sort_prefix a n =
     sift root n
   done;
   for last = n - 1 downto 1 do
-    let tmp = a.(last) in
-    a.(last) <- a.(0);
-    a.(0) <- tmp;
+    let tmp = Fbuf.get a last in
+    Fbuf.set a last (Fbuf.get a 0);
+    Fbuf.set a 0 tmp;
     sift 0 last
   done
 
@@ -53,14 +57,14 @@ let sort_prefix a n =
    floats) and [prefix] (>= r+1 floats) are caller-owned scratch reused
    across rounds — this used to allocate both (and a full G-point
    service table) per round. *)
-let prepare_requests data ~lo ~hi ~sorted ~prefix =
+let prepare_requests (data : Fbuf.t) ~lo ~hi ~sorted ~prefix =
   let r = hi - lo in
   if r > 0 then begin
-    Array.blit data lo sorted 0 r;
+    Fbuf.blit data lo sorted 0 r;
     sort_prefix sorted r;
-    prefix.(0) <- 0.0;
+    Fbuf.set prefix 0 0.0;
     for i = 0 to r - 1 do
-      prefix.(i + 1) <- prefix.(i) +. sorted.(i)
+      Fbuf.set prefix (i + 1) (Fbuf.get prefix i +. Fbuf.get sorted i)
     done
   end;
   r
@@ -69,25 +73,25 @@ let prepare_requests data ~lo ~hi ~sorted ~prefix =
    ascending query sweep (it only ever advances, and re-synchronizes if
    a query was skipped).  Exactly the per-point arithmetic of the
    former service-table fill. *)
-let service_at ~r ~sorted ~prefix j x =
-  while !j < r && sorted.(!j) <= x do incr j done;
+let service_at ~r ~(sorted : Fbuf.t) ~(prefix : Fbuf.t) j x =
+  while !j < r && Fbuf.get sorted !j <= x do incr j done;
   (* !j requests are <= x. *)
-  let below = float_of_int !j and sum_below = prefix.(!j) in
+  let below = float_of_int !j and sum_below = Fbuf.get prefix !j in
   let above = float_of_int (r - !j)
-  and sum_above = prefix.(r) -. prefix.(!j) in
+  and sum_above = Fbuf.get prefix r -. Fbuf.get prefix !j in
   (below *. x) -. sum_below +. (sum_above -. (above *. x))
 
 (* Full service table over the grid — only the serve-first variant
    needs it materialized (its transition keys read service at the
    pre-move position); move-first streams {!service_at} directly in the
    combine pass. *)
-let service_into ~r ~sorted ~prefix grid out =
-  let g = Array.length grid in
-  Array.fill out 0 g 0.0;
+let service_into ~r ~sorted ~prefix (grid : Fbuf.t) (out : Fbuf.t) =
+  let g = Fbuf.length grid in
+  Fbuf.fill out 0.0;
   if r > 0 then begin
     let j = ref 0 in
     for k = 0 to g - 1 do
-      out.(k) <- service_at ~r ~sorted ~prefix j grid.(k)
+      Fbuf.set out k (service_at ~r ~sorted ~prefix j (Fbuf.get grid k))
     done
   end
 
@@ -122,7 +126,7 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
      false), so each coordinate is validated explicitly. *)
   let lo = ref start and hi = ref start in
   for i = 0 to n_req - 1 do
-    let x = data.(i) in
+    let x = Fbuf.get data i in
     if not (Float.is_finite x) then
       invalid_arg
         "Line_dp.solve: request coordinate is not finite (NaN or infinite)";
@@ -163,7 +167,10 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
   let k_lo = -(int_of_float cells_lo) in
   let k_hi = int_of_float cells_hi in
   let g = k_hi - k_lo + 1 in
-  let grid = Array.init g (fun i -> start +. (float_of_int (k_lo + i) *. pitch)) in
+  let grid = Fbuf.create g in
+  for i = 0 to g - 1 do
+    Fbuf.set grid i (start +. (float_of_int (k_lo + i) *. pitch))
+  done;
   let start_idx = -k_lo in
   let w = int_of_float (Float.floor ((m /. pitch) +. 1e-9)) in
   (* Coarse-pitch regime: the arena is so wide relative to the grid
@@ -182,28 +189,30 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
   let inf = infinity in
   (* Parent offsets, one byte per state per round: offset + 128. *)
   let parents = Bytes.make (t_len * g) '\000' in
-  let value = Array.make g inf in
-  value.(start_idx) <- 0.0;
-  (* Scratch arrays reused across all T rounds — the DP loop proper
-     allocates nothing. *)
-  let left_val = Array.make g 0.0 and left_idx = Array.make g 0 in
-  let rev_val = Array.make g 0.0 and rev_idx = Array.make g 0 in
+  (* Value + float scratch live in {!Fbuf.t} buffers (outside the OCaml
+     heap); the index scratch stays in int arrays.  Reused across all T
+     rounds — the DP loop proper allocates nothing. *)
+  let value = Fbuf.create g in
+  Fbuf.fill value inf;
+  Fbuf.set value start_idx 0.0;
+  let left_val = Fbuf.create g and left_idx = Array.make g 0 in
+  let rev_val = Fbuf.create g and rev_idx = Array.make g 0 in
   let deque = Array.make g 0 in
-  let deque_key = Array.make g 0.0 in
-  let service = Array.make g 0.0 in
+  let deque_key = Fbuf.create g in
+  let service = Fbuf.create g in
   let max_r = ref 0 in
   for t = 0 to t_len - 1 do
     max_r := Stdlib.max !max_r (Instance.Packed.round_length p t)
   done;
-  let sorted = Array.make (Stdlib.max 1 !max_r) 0.0 in
-  let prefix = Array.make (!max_r + 1) 0.0 in
+  let sorted = Fbuf.create (Stdlib.max 1 !max_r) in
+  let prefix = Fbuf.create (!max_r + 1) in
   let serve_first = Variant.equal config.Config.variant Variant.Serve_first in
   (* Base value of staying at y before moving: V(y) (+ service(y) when
      the variant charges requests at the pre-move position).  Move-first
      reads [value] directly; serve-first materializes V + service into
      its own scratch row once per round — the sums are the same ones the
      key computation used to perform, in the same order. *)
-  let base_arr = if serve_first then Array.make g 0.0 else value in
+  let base_arr = if serve_first then Fbuf.create g else value in
   for t = 0 to t_len - 1 do
     let r =
       prepare_requests data ~lo:(Instance.Packed.round_start p t)
@@ -213,22 +222,24 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
     if serve_first then begin
       service_into ~r ~sorted ~prefix grid service;
       for j = 0 to g - 1 do
-        base_arr.(j) <- value.(j) +. service.(j)
+        Fbuf.set base_arr j (Fbuf.get value j +. Fbuf.get service j)
       done
     end;
     (* Left window: j in [k-w, k]; minimize base(j) − D·x_j (the D·x_k
        term is added in the combine pass). *)
     let head = ref 0 and tail = ref 0 in
     for k = 0 to g - 1 do
-      let key_k = base_arr.(k) -. (d_factor *. grid.(k)) in
+      let key_k = Fbuf.get base_arr k -. (d_factor *. Fbuf.get grid k) in
       (* Drop indices that left the window. *)
       while !head < !tail && deque.(!head) < k - w do incr head done;
       (* Maintain increasing key values in the deque. *)
-      while !head < !tail && deque_key.(!tail - 1) >= key_k do decr tail done;
+      while !head < !tail && Fbuf.get deque_key (!tail - 1) >= key_k do
+        decr tail
+      done;
       deque.(!tail) <- k;
-      deque_key.(!tail) <- key_k;
+      Fbuf.set deque_key !tail key_k;
       incr tail;
-      left_val.(k) <- deque_key.(!head);
+      Fbuf.set left_val k (Fbuf.get deque_key !head);
       left_idx.(k) <- deque.(!head)
     done;
     (* Right window: j in [k, k+w]; the same scan over the reversed
@@ -237,13 +248,15 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
     let head = ref 0 and tail = ref 0 in
     for j = 0 to g - 1 do
       let i = g - 1 - j in
-      let key_j = base_arr.(i) +. (d_factor *. grid.(i)) in
+      let key_j = Fbuf.get base_arr i +. (d_factor *. Fbuf.get grid i) in
       while !head < !tail && deque.(!head) < j - w do incr head done;
-      while !head < !tail && deque_key.(!tail - 1) >= key_j do decr tail done;
+      while !head < !tail && Fbuf.get deque_key (!tail - 1) >= key_j do
+        decr tail
+      done;
       deque.(!tail) <- j;
-      deque_key.(!tail) <- key_j;
+      Fbuf.set deque_key !tail key_j;
       incr tail;
-      rev_val.(j) <- deque_key.(!head);
+      Fbuf.set rev_val j (Fbuf.get deque_key !head);
       rev_idx.(j) <- deque.(!head)
     done;
     (* Both scans have consumed [value], so the combine pass writes the
@@ -251,18 +264,18 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
        copy-back pass. *)
     let js = ref 0 in
     for k = 0 to g - 1 do
-      let x = grid.(k) in
+      let x = Fbuf.get grid k in
       let dx = d_factor *. x in
-      let from_left = left_val.(k) +. dx in
+      let from_left = Fbuf.get left_val k +. dx in
       (* The right-scan results are read back mirrored — the dedicated
          un-reversal pass of the textbook formulation is folded away. *)
-      let from_right = rev_val.(g - 1 - k) -. dx in
+      let from_right = Fbuf.get rev_val (g - 1 - k) -. dx in
       let take_left = from_left <= from_right in
       let best_val = if take_left then from_left else from_right in
       let best_j =
         if take_left then left_idx.(k) else g - 1 - rev_idx.(g - 1 - k)
       in
-      value.(k) <-
+      Fbuf.set value k
         (if Float.is_finite best_val then
            if serve_first then best_val
            else if r = 0 then best_val +. 0.0
@@ -274,16 +287,16 @@ let solve_packed ?(grid_per_m = 64) (config : Config.t)
   (* Best terminal state, then walk parents back. *)
   let best_k = ref 0 in
   for k = 1 to g - 1 do
-    if value.(k) < value.(!best_k) then best_k := k
+    if Fbuf.get value k < Fbuf.get value !best_k then best_k := k
   done;
   let positions = Array.make t_len [| 0.0 |] in
   let k = ref !best_k in
   for t = t_len - 1 downto 0 do
-    positions.(t) <- [| grid.(!k) |];
+    positions.(t) <- [| Fbuf.get grid !k |];
     let offset = Char.code (Bytes.get parents ((t * g) + !k)) - 128 in
     k := !k + offset
   done;
-  { cost = value.(!best_k); positions; grid_pitch = pitch }
+  { cost = Fbuf.get value !best_k; positions; grid_pitch = pitch }
 
 let solve ?grid_per_m config inst =
   solve_packed ?grid_per_m config (Instance.pack inst)

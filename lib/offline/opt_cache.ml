@@ -31,12 +31,16 @@ let evictions = ref 0 [@@guarded_by lock]
 (* The key covers exactly what an offline solve can observe: the solver
    id with its resolution knobs, the model parameters D and the offline
    budget (= [move_limit]) plus the cost variant, and the full IEEE bit
-   pattern of the instance via [Instance.Packed.serialize].  [delta] and
+   pattern of the instance — via [Instance.Packed.content_digest], the
+   memoized MD5 of the serialization.  Digesting the 16-byte instance
+   digest instead of the raw serialize bytes makes repeat lookups on
+   the same instance O(1): serialization is paid once per instance, not
+   once per lookup (the v1 key re-serialized every time).  [delta] and
    [warm_start] shape online runs only and are deliberately excluded —
    sweeping them must keep hitting the same entries. *)
 let key ~solver (config : Config.t) packed =
   let buf = Buffer.create (64 + String.length solver) in
-  Buffer.add_string buf "msp-opt-cache-v1\n";
+  Buffer.add_string buf "msp-opt-cache-v2\n";
   Buffer.add_string buf solver;
   Buffer.add_char buf '\n';
   Buffer.add_int64_le buf (Int64.bits_of_float config.Config.d_factor);
@@ -44,7 +48,7 @@ let key ~solver (config : Config.t) packed =
   Buffer.add_char buf
     (if Variant.equal config.Config.variant Variant.Serve_first then 'S'
      else 'M');
-  Buffer.add_string buf (Instance.Packed.serialize packed);
+  Buffer.add_string buf (Instance.Packed.content_digest packed);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* --- deterministic fault injection (simtest hooks) ------------------- *)
@@ -88,25 +92,45 @@ end
 
 let disk_path d digest = Filename.concat d (digest ^ ".opt")
 
-(* An entry is exactly 16 lowercase hex digits plus a newline — the
-   [%016Lx\n] the writer produces.  Anything else on disk is corruption
-   (torn write, truncation, bit rot, foreign file) and must behave as a
-   miss: the value recomputes from the digest's inputs, so dropping the
-   entry is always safe, while trusting it never is. *)
-let entry_length = 17
+(* Versioned binary entry, following [Serve.Frame]'s conventions
+   (multi-byte integers big-endian, floats as raw IEEE-754 bits, total
+   precise decoding): a 4-byte magic, a version byte, then the 8 bits
+   of the optimum cost — 13 bytes, no textual round-trip anywhere.
+   Anything else on disk — wrong length, wrong magic, an unknown or
+   stale version (including v1's 17-byte hex entries), torn writes, bit
+   rot, foreign files — must behave as a miss: the value recomputes
+   from the digest's inputs, so dropping the entry is always safe,
+   while trusting it never is. *)
+let entry_magic = "MSPO"
+let entry_version = '\x02'
+let entry_length = 13
 
-let is_hex_digit c =
-  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
-
-let valid_entry s =
-  String.length s = entry_length
-  && s.[entry_length - 1] = '\n'
-  &&
-  let ok = ref true in
-  for i = 0 to entry_length - 2 do
-    if not (is_hex_digit s.[i]) then ok := false
+let encode_entry value =
+  let b = Bytes.create entry_length in
+  Bytes.blit_string entry_magic 0 b 0 4;
+  Bytes.set b 4 entry_version;
+  let bits = Int64.bits_of_float value in
+  for i = 0 to 7 do
+    Bytes.set b (5 + i)
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical bits ((7 - i) * 8))
+          land 0xFF))
   done;
-  !ok
+  Bytes.unsafe_to_string b
+
+(* Total decoder: [None] on any malformed entry, never an exception. *)
+let decode_entry s =
+  if String.length s <> entry_length then None
+  else if not (String.equal (String.sub s 0 4) entry_magic) then None
+  else if not (Char.equal s.[4] entry_version) then None
+  else begin
+    let bits = ref 0L in
+    for i = 5 to entry_length - 1 do
+      bits :=
+        Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[i]))
+    done;
+    Some (Int64.float_of_bits !bits)
+  end
 
 (* Remove a corrupt entry so it cannot be re-read (and re-rejected)
    forever; best-effort, like every disk-store operation. *)
@@ -122,18 +146,19 @@ let overwrite_file path bytes =
       (fun () -> output_string oc bytes)
   with Sys_error _ -> ()
 
-(* Costs travel as IEEE-754 bits in hex — never [float_of_string],
-   which is lossy in text round-trips and a lint-banned NaN source.
-   The whole read is guarded: a corrupt or truncated entry (or an IO
-   error mid-read) is a miss, never an exception escaping into the
-   lookup path, and never a garbage float poisoning the in-memory
-   LRU.  Invalid entries are quarantined (removed). *)
+(* Costs travel as raw IEEE-754 bits — never [float_of_string], which
+   is lossy in text round-trips and a lint-banned NaN source.  The
+   whole read is guarded: a corrupt, truncated or version-mismatched
+   entry (or an IO error mid-read) is a miss, never an exception
+   escaping into the lookup path, and never a garbage float poisoning
+   the in-memory LRU.  Invalid entries are quarantined (removed). *)
 let disk_read d digest =
   let path = disk_path d digest in
   (match Faults.take_read () with
    | None -> ()
-   | Some Faults.Truncate -> overwrite_file path "0b"
-   | Some Faults.Garbage -> overwrite_file path "zzzzzzzzzzzzzzzz\n"
+   | Some Faults.Truncate -> overwrite_file path entry_magic
+   | Some Faults.Garbage ->
+     overwrite_file path (String.make entry_length 'z')
    | Some Faults.Sys_err -> raise (Sys_error "opt-cache: injected read fault"));
   match open_in_bin path with
   | exception Sys_error _ -> None
@@ -145,14 +170,7 @@ let disk_read d digest =
           try
             let len = in_channel_length ic in
             if len <> entry_length then None
-            else begin
-              let s = really_input_string ic entry_length in
-              if not (valid_entry s) then None
-              else
-                match Int64.of_string ("0x" ^ String.sub s 0 16) with
-                | exception Failure _ -> None
-                | bits -> Some (Int64.float_of_bits bits)
-            end
+            else decode_entry (really_input_string ic entry_length)
           with Sys_error _ | End_of_file -> None)
     in
     (match entry with
@@ -183,9 +201,7 @@ let disk_write d digest value =
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc
-          (Printf.sprintf "%016Lx\n" (Int64.bits_of_float value)));
+      (fun () -> output_string oc (encode_entry value));
     Sys.rename tmp (disk_path d digest)
   with Sys_error _ -> ()
 

@@ -12,7 +12,10 @@
       the offline budget [move_limit] and the {!Mobile_server.Variant} —
       as raw IEEE bits ([delta] and [warm_start] are excluded: they
       affect online runs only, so sweeping them hits the same entries),
-    - the instance's {!Mobile_server.Instance.Packed.serialize} bytes.
+    - the instance's {!Mobile_server.Instance.Packed.content_digest}
+      (the memoized MD5 of its serialization — covering every IEEE bit
+      of every coordinate, paid once per instance rather than once per
+      lookup).
 
     Because the digest covers every bit the solver can see, a hit
     returns exactly the float the solve would have produced: cached and
@@ -20,7 +23,15 @@
     in-memory table is a mutex-protected LRU shared by all worker
     domains; the optional on-disk store (one small file per entry,
     written atomically) persists optima across processes.  Both layers
-    are best-effort — any disk failure degrades to an uncached solve. *)
+    are best-effort — any disk failure degrades to an uncached solve.
+
+    Disk entries are versioned binary, following {!Serve.Frame}'s
+    conventions: a 4-byte magic ["MSPO"], a version byte, then the
+    optimum cost as raw big-endian IEEE-754 bits — 13 bytes total,
+    decoded precisely and totally (see docs/offline.md).  An entry with
+    the wrong length, magic or version — including entries written by
+    older releases — is a miss and is quarantined, exactly like a
+    corrupt one. *)
 
 type stats = {
   hits : int;  (** In-memory hits. *)
@@ -98,10 +109,11 @@ module Faults : sig
   type read_corruption =
     | Sys_err  (** The next read raises [Sys_error] internally (an IO
                    error): treated as a miss. *)
-    | Truncate  (** The next read finds the entry truncated (short
-                    file): miss + quarantine. *)
-    | Garbage  (** The next read finds non-hex garbage bytes: miss +
-                   quarantine. *)
+    | Truncate  (** The next read finds the entry truncated (a short
+                    file — a bare magic with nothing after it): miss +
+                    quarantine. *)
+    | Garbage  (** The next read finds garbage bytes (right length,
+                   wrong magic): miss + quarantine. *)
 
   val fail_next_write : unit -> unit
   (** Arm the next {e disk write} to fail with an internal [Sys_error]

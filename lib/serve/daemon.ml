@@ -28,6 +28,7 @@ type t = {
   shards : shard array;
   pool : Exec.Pool.t option;
   queue_capacity : int;
+  journaled : bool;
   mutable stopped : bool;
 }
 
@@ -45,7 +46,8 @@ let shard_of ~nshards id =
   let z = Int64.logxor z (Int64.shift_right_logical z 33) in
   Int64.to_int (Int64.unsigned_rem z (Int64.of_int nshards))
 
-let create ?(shards = 8) ?jobs ?(queue_capacity = 1024) ~config () =
+let create ?(shards = 8) ?jobs ?(queue_capacity = 1024) ?(journal = true)
+    ~config () =
   if shards < 1 then invalid_arg "Serve.Daemon.create: shards < 1";
   if queue_capacity < 1 then
     invalid_arg "Serve.Daemon.create: queue_capacity < 1";
@@ -68,6 +70,7 @@ let create ?(shards = 8) ?jobs ?(queue_capacity = 1024) ~config () =
           });
     pool = (if jobs = 1 then None else Some (Exec.Pool.create ~jobs));
     queue_capacity;
+    journaled = journal;
     stopped = false;
   }
 
@@ -124,8 +127,9 @@ let process t shard (req : (Frame.request, string) result) : Frame.reply =
         }
     else begin
       let start = Array.copy start in
-      Hashtbl.replace shard.journals session
-        { j_seed = seed; j_start = start; j_rounds_rev = [] };
+      if t.journaled then
+        Hashtbl.replace shard.journals session
+          { j_seed = seed; j_start = start; j_rounds_rev = [] };
       Hashtbl.replace shard.live session (make_session t ~seed ~start);
       Frame.Opened { session }
     end
@@ -143,8 +147,9 @@ let process t shard (req : (Frame.request, string) result) : Frame.reply =
           rejected round leaves the session live and untouched. *)
        (match Engine.Session.step live requests with
         | record ->
-          let j = Hashtbl.find shard.journals session in
-          j.j_rounds_rev <- requests :: j.j_rounds_rev;
+          (match Hashtbl.find_opt shard.journals session with
+           | Some j -> j.j_rounds_rev <- requests :: j.j_rounds_rev
+           | None -> () (* journaling off *));
           Frame.Stepped
             {
               session;
@@ -230,7 +235,14 @@ let await t ticket =
 let call t frame = await t (submit t frame)
 
 let live_sessions t =
-  Array.fold_left (fun acc s -> acc + Hashtbl.length s.journals) 0 t.shards
+  (* With journaling on, the journal table is authoritative: a killed
+     shard's sessions are still live (they rebuild on next touch) even
+     though the live table was reset.  Without journals the live table
+     is all there is. *)
+  let count (s : shard) =
+    if t.journaled then Hashtbl.length s.journals else Hashtbl.length s.live
+  in
+  Array.fold_left (fun acc s -> acc + count s) 0 t.shards
 
 let kill_shard ?(lose_journal = false) t i =
   let i = ((i mod t.nshards) + t.nshards) mod t.nshards in

@@ -44,14 +44,20 @@ type ticket
 (** A claim on one submitted frame's reply. *)
 
 val create :
-  ?shards:int -> ?jobs:int -> ?queue_capacity:int ->
+  ?shards:int -> ?jobs:int -> ?queue_capacity:int -> ?journal:bool ->
   config:Mobile_server.Config.t -> unit -> t
 (** [create ~config ()] starts a daemon serving MtC sessions under
     [config].  [shards] defaults to 8; [jobs] (worker domains, default
     [Exec.jobs ()]) is capped at [shards] — [jobs = 1] runs shard
     drains inline with no pool at all; [queue_capacity] (default 1024)
-    bounds each shard's pending queue.  Raises [Invalid_argument] on
-    non-positive parameters. *)
+    bounds each shard's pending queue.  [journal] (default true)
+    controls crash-recovery journaling: with [~journal:false] no
+    per-session round history is kept — memory per session is O(1)
+    instead of O(steps), which is what lets a daemon hold a million
+    live sessions — at the price that {!kill_shard} loses the shard's
+    sessions for good (as if [lose_journal] were set).  Replies are
+    bit-identical either way; journaling only affects recovery.
+    Raises [Invalid_argument] on non-positive parameters. *)
 
 val config : t -> Mobile_server.Config.t
 (** The model parameters every served session runs under. *)

@@ -9,6 +9,7 @@ type report = {
   errors : int;
   peak_live : int;
   latencies : float array;
+  service_latencies : float array;
   mismatches : string list;
   reply_digest : string;
 }
@@ -25,11 +26,17 @@ let same_vec a b =
       Array.iteri (fun i x -> if not (same_bits x b.(i)) then ok := false) a;
       !ok)
 
-type session_state = {
-  plan : Open_world.plan;
-  inst : Instance.t;
-  mutable traj_rev : Geometry.Vec.t list;
-}
+(* Canonical position bytes for the trajectory digests: raw big-endian
+   IEEE bits per coordinate ({!Frame}'s float convention), so equal
+   digests mean bitwise-equal trajectories. *)
+let vec_bytes v =
+  let b = Bytes.create (8 * Array.length v) in
+  Array.iteri
+    (fun i x -> Bytes.set_int64_be b (i * 8) (Int64.bits_of_float x))
+    v;
+  Bytes.unsafe_to_string b
+
+let traj_digest_seed = Digest.string "serve-traj-stream-v1"
 
 type kind = K_open | K_step | K_close
 
@@ -40,27 +47,83 @@ type pending = {
   t_submit : float;
 }
 
-let run ?now daemon schedule =
-  let states : (int64, session_state) Hashtbl.t = Hashtbl.create 1024 in
-  let sessions = ref 0 in
-  let steps = ref 0 in
-  let errors = ref 0 in
-  let peak_live = ref 0 in
-  let latencies = ref [] in
-  let mismatches = ref [] in
-  let mismatch_count = ref 0 in
+(* The bookkeeping shared by both driver modes: counters, the two
+   latency series (per-step sojourn, per-tick service), the capped
+   mismatch log and the chained reply digest. *)
+type acc = {
+  mutable a_sessions : int;
+  mutable a_steps : int;
+  mutable a_errors : int;
+  mutable a_peak_live : int;
+  mutable a_sojourn_rev : float list;
+  mutable a_service_rev : float list;
+  mutable a_mismatches_rev : string list;
+  mutable a_mismatch_count : int;
   (* Chained digest over every reply frame in submission order: cheap,
      incremental, and equal iff the reply byte streams are identical. *)
-  let digest = ref (Digest.string "serve-reply-stream-v1") in
+  mutable a_digest : string;
+}
+
+let acc_create () =
+  {
+    a_sessions = 0;
+    a_steps = 0;
+    a_errors = 0;
+    a_peak_live = 0;
+    a_sojourn_rev = [];
+    a_service_rev = [];
+    a_mismatches_rev = [];
+    a_mismatch_count = 0;
+    a_digest = Digest.string "serve-reply-stream-v1";
+  }
+
+let flag acc fmt =
+  Printf.ksprintf
+    (fun s ->
+      acc.a_mismatch_count <- acc.a_mismatch_count + 1;
+      if acc.a_mismatch_count <= max_reported then
+        acc.a_mismatches_rev <- s :: acc.a_mismatches_rev)
+    fmt
+
+let acc_report acc =
+  {
+    sessions = acc.a_sessions;
+    steps = acc.a_steps;
+    errors = acc.a_errors;
+    peak_live = acc.a_peak_live;
+    latencies = Array.of_list (List.rev acc.a_sojourn_rev);
+    service_latencies = Array.of_list (List.rev acc.a_service_rev);
+    mismatches = List.rev acc.a_mismatches_rev;
+    reply_digest = Digest.to_hex acc.a_digest;
+  }
+
+(* Per tick: record the live high-water mark, flush, time the flush.
+   The per-tick service latency is flush seconds divided by the step
+   frames served in the batch — what the daemon actually spends per
+   step — as opposed to the per-step sojourn (submit→reply), which
+   under tick batching is dominated by time spent queued behind the
+   rest of the tick. *)
+let tick_flush daemon acc ~timing ~clock ~tick_steps =
+  let live = Daemon.live_sessions daemon in
+  if live > acc.a_peak_live then acc.a_peak_live <- live;
+  let t0 = clock () in
+  Daemon.flush daemon;
+  if timing && tick_steps > 0 then begin
+    let dt = clock () -. t0 in
+    acc.a_service_rev <- (dt /. float_of_int tick_steps) :: acc.a_service_rev
+  end
+
+type session_state = {
+  plan : Open_world.plan;
+  inst : Instance.t;
+  mutable traj_rev : Geometry.Vec.t list;
+}
+
+let run ?now daemon schedule =
+  let states : (int64, session_state) Hashtbl.t = Hashtbl.create 1024 in
+  let acc = acc_create () in
   let clock = match now with Some f -> f | None -> fun () -> 0. in
   let timing = now <> None in
-  let flag fmt =
-    Printf.ksprintf
-      (fun s ->
-        incr mismatch_count;
-        if !mismatch_count <= max_reported then mismatches := s :: !mismatches)
-      fmt
-  in
   let verify st ~rounds ~clamped_rounds ~position ~move ~service =
     let id = st.plan.Open_world.id in
     let replay =
@@ -70,70 +133,73 @@ let run ?now daemon schedule =
     in
     let served = Array.of_list (List.rev st.traj_rev) in
     if Array.length served <> Array.length replay.Engine.positions then
-      flag "session %Ld: served %d rounds, engine replay has %d" id
+      flag acc "session %Ld: served %d rounds, engine replay has %d" id
         (Array.length served)
         (Array.length replay.Engine.positions)
     else
       Array.iteri
         (fun i p ->
           if not (same_vec p replay.Engine.positions.(i)) then
-            flag "session %Ld: round %d position diverges from engine" id i)
+            flag acc "session %Ld: round %d position diverges from engine" id
+              i)
         served;
     if rounds <> Array.length replay.Engine.positions then
-      flag "session %Ld: daemon says %d rounds, engine %d" id rounds
+      flag acc "session %Ld: daemon says %d rounds, engine %d" id rounds
         (Array.length replay.Engine.positions);
     if clamped_rounds <> replay.Engine.clamped then
-      flag "session %Ld: daemon clamped %d rounds, engine %d" id
+      flag acc "session %Ld: daemon clamped %d rounds, engine %d" id
         clamped_rounds replay.Engine.clamped;
     if rounds >= 1
        && rounds <= Array.length replay.Engine.positions
        && not (same_vec position replay.Engine.positions.(rounds - 1))
-    then flag "session %Ld: final position diverges from engine" id;
+    then flag acc "session %Ld: final position diverges from engine" id;
     if not (same_bits move replay.Engine.cost.Cost.move) then
-      flag "session %Ld: move cost %h diverges from engine %h" id move
+      flag acc "session %Ld: move cost %h diverges from engine %h" id move
         replay.Engine.cost.Cost.move;
     if not (same_bits service replay.Engine.cost.Cost.service) then
-      flag "session %Ld: service cost %h diverges from engine %h" id service
-        replay.Engine.cost.Cost.service
+      flag acc "session %Ld: service cost %h diverges from engine %h" id
+        service replay.Engine.cost.Cost.service
   in
   let handle (p : pending) =
     let reply_bytes = Daemon.await daemon p.ticket in
-    digest := Digest.string (!digest ^ reply_bytes);
+    acc.a_digest <- Digest.string (acc.a_digest ^ reply_bytes);
     if timing && p.kind = K_step then
-      latencies := (clock () -. p.t_submit) :: !latencies;
+      acc.a_sojourn_rev <- (clock () -. p.t_submit) :: acc.a_sojourn_rev;
     match Frame.decode_reply reply_bytes with
-    | Error msg -> flag "undecodable reply for session %Ld: %s" p.p_id msg
+    | Error msg -> flag acc "undecodable reply for session %Ld: %s" p.p_id msg
     | Ok (Frame.Error { session; code; message }) ->
-      incr errors;
-      flag "error reply for session %Ld: %s: %s" session
+      acc.a_errors <- acc.a_errors + 1;
+      flag acc "error reply for session %Ld: %s: %s" session
         (Frame.error_code_to_string code)
         message
     | Ok (Frame.Opened _) -> ()
     | Ok (Frame.Stepped { session; position; _ }) -> begin
-        incr steps;
+        acc.a_steps <- acc.a_steps + 1;
         match Hashtbl.find_opt states session with
-        | None -> flag "step reply for unknown session %Ld" session
+        | None -> flag acc "step reply for unknown session %Ld" session
         | Some st -> st.traj_rev <- position :: st.traj_rev
       end
     | Ok (Frame.Snapshot _) -> ()
     | Ok (Frame.Closed { session; rounds; clamped_rounds; position; move;
                          service }) -> begin
         match Hashtbl.find_opt states session with
-        | None -> flag "close reply for unknown session %Ld" session
+        | None -> flag acc "close reply for unknown session %Ld" session
         | Some st ->
           verify st ~rounds ~clamped_rounds ~position ~move ~service;
           Hashtbl.remove states session
       end
   in
   let tick_pending = ref [] in
+  let tick_steps = ref 0 in
   let submit kind id frame =
     let ticket = Daemon.submit daemon frame in
+    if kind = K_step then incr tick_steps;
     tick_pending :=
       { ticket; kind; p_id = id; t_submit = clock () } :: !tick_pending
   in
   Open_world.iter schedule
     ~open_:(fun p inst ->
-      incr sessions;
+      acc.a_sessions <- acc.a_sessions + 1;
       Hashtbl.replace states p.Open_world.id
         { plan = p; inst; traj_rev = [] };
       submit K_open p.Open_world.id
@@ -152,19 +218,132 @@ let run ?now daemon schedule =
       submit K_close p.Open_world.id
         (Frame.encode_request (Frame.Close { session = p.Open_world.id })))
     ~tick_end:(fun ~tick:_ ->
-      let live = Daemon.live_sessions daemon in
-      if live > !peak_live then peak_live := live;
-      Daemon.flush daemon;
+      tick_flush daemon acc ~timing ~clock ~tick_steps:!tick_steps;
       List.iter handle (List.rev !tick_pending);
-      tick_pending := []);
+      tick_pending := [];
+      tick_steps := 0);
   if Hashtbl.length states <> 0 then
-    flag "%d session(s) never closed" (Hashtbl.length states);
-  {
-    sessions = !sessions;
-    steps = !steps;
-    errors = !errors;
-    peak_live = !peak_live;
-    latencies = Array.of_list (List.rev !latencies);
-    mismatches = List.rev !mismatches;
-    reply_digest = Digest.to_hex !digest;
-  }
+    flag acc "%d session(s) never closed" (Hashtbl.length states);
+  acc_report acc
+
+(* --- streaming mode --------------------------------------------------- *)
+
+(* Per-session state in streaming mode: the plan plus a chained digest
+   of the served positions — O(1) per session where [run] keeps the
+   whole trajectory.  At close the session is replayed through
+   {!Engine.run_stream} on a fresh {!Open_world.plan_cursor}, chaining
+   the replay positions into the same digest construction; equal
+   digests mean every per-round position matched bitwise. *)
+type stream_state = {
+  ss_plan : Open_world.plan;
+  mutable ss_rounds : int;
+  mutable ss_digest : string;
+}
+
+let run_stream ?now daemon (spec : Open_world.spec) =
+  let states : (int64, stream_state) Hashtbl.t = Hashtbl.create 1024 in
+  let acc = acc_create () in
+  let clock = match now with Some f -> f | None -> fun () -> 0. in
+  let timing = now <> None in
+  let verify (st : stream_state) ~rounds ~clamped_rounds ~position ~move
+      ~service =
+    let p = st.ss_plan in
+    let id = p.Open_world.id in
+    let start, next = Open_world.plan_cursor spec p in
+    let dig = ref traj_digest_seed in
+    let summary =
+      Engine.run_stream
+        ~rng:(Daemon.session_rng ~seed:p.Open_world.seed)
+        ~trace:(fun r ->
+          dig := Digest.string (!dig ^ vec_bytes r.Engine.position))
+        (Daemon.config daemon) Mobile_server.Mtc.algorithm ~start
+        ~rounds:p.Open_world.rounds
+        (fun _ -> next ())
+    in
+    if st.ss_rounds <> summary.Engine.s_rounds then
+      flag acc "session %Ld: served %d rounds, engine replay has %d" id
+        st.ss_rounds summary.Engine.s_rounds
+    else if st.ss_digest <> !dig then
+      flag acc "session %Ld: served trajectory diverges from engine" id;
+    if rounds <> summary.Engine.s_rounds then
+      flag acc "session %Ld: daemon says %d rounds, engine %d" id rounds
+        summary.Engine.s_rounds;
+    if clamped_rounds <> summary.Engine.s_clamped then
+      flag acc "session %Ld: daemon clamped %d rounds, engine %d" id
+        clamped_rounds summary.Engine.s_clamped;
+    if not (same_vec position summary.Engine.s_final) then
+      flag acc "session %Ld: final position diverges from engine" id;
+    if not (same_bits move summary.Engine.s_cost.Cost.move) then
+      flag acc "session %Ld: move cost %h diverges from engine %h" id move
+        summary.Engine.s_cost.Cost.move;
+    if not (same_bits service summary.Engine.s_cost.Cost.service) then
+      flag acc "session %Ld: service cost %h diverges from engine %h" id
+        service summary.Engine.s_cost.Cost.service
+  in
+  let handle (p : pending) =
+    let reply_bytes = Daemon.await daemon p.ticket in
+    acc.a_digest <- Digest.string (acc.a_digest ^ reply_bytes);
+    if timing && p.kind = K_step then
+      acc.a_sojourn_rev <- (clock () -. p.t_submit) :: acc.a_sojourn_rev;
+    match Frame.decode_reply reply_bytes with
+    | Error msg -> flag acc "undecodable reply for session %Ld: %s" p.p_id msg
+    | Ok (Frame.Error { session; code; message }) ->
+      acc.a_errors <- acc.a_errors + 1;
+      flag acc "error reply for session %Ld: %s: %s" session
+        (Frame.error_code_to_string code)
+        message
+    | Ok (Frame.Opened _) -> ()
+    | Ok (Frame.Stepped { session; position; _ }) -> begin
+        acc.a_steps <- acc.a_steps + 1;
+        match Hashtbl.find_opt states session with
+        | None -> flag acc "step reply for unknown session %Ld" session
+        | Some st ->
+          st.ss_rounds <- st.ss_rounds + 1;
+          st.ss_digest <- Digest.string (st.ss_digest ^ vec_bytes position)
+      end
+    | Ok (Frame.Snapshot _) -> ()
+    | Ok (Frame.Closed { session; rounds; clamped_rounds; position; move;
+                         service }) -> begin
+        match Hashtbl.find_opt states session with
+        | None -> flag acc "close reply for unknown session %Ld" session
+        | Some st ->
+          verify st ~rounds ~clamped_rounds ~position ~move ~service;
+          Hashtbl.remove states session
+      end
+  in
+  let tick_pending = ref [] in
+  let tick_steps = ref 0 in
+  let submit kind id frame =
+    let ticket = Daemon.submit daemon frame in
+    if kind = K_step then incr tick_steps;
+    tick_pending :=
+      { ticket; kind; p_id = id; t_submit = clock () } :: !tick_pending
+  in
+  Open_world.iter_stream spec
+    ~open_:(fun p ~start ->
+      acc.a_sessions <- acc.a_sessions + 1;
+      Hashtbl.replace states p.Open_world.id
+        {
+          ss_plan = p;
+          ss_rounds = 0;
+          ss_digest = traj_digest_seed;
+        };
+      submit K_open p.Open_world.id
+        (Frame.encode_request
+           (Frame.Open
+              { session = p.Open_world.id; seed = p.Open_world.seed; start })))
+    ~step:(fun p ~round:_ requests ->
+      submit K_step p.Open_world.id
+        (Frame.encode_request
+           (Frame.Step { session = p.Open_world.id; requests })))
+    ~close:(fun p ->
+      submit K_close p.Open_world.id
+        (Frame.encode_request (Frame.Close { session = p.Open_world.id })))
+    ~tick_end:(fun ~tick:_ ->
+      tick_flush daemon acc ~timing ~clock ~tick_steps:!tick_steps;
+      List.iter handle (List.rev !tick_pending);
+      tick_pending := [];
+      tick_steps := 0);
+  if Hashtbl.length states <> 0 then
+    flag acc "%d session(s) never closed" (Hashtbl.length states);
+  acc_report acc

@@ -13,6 +13,13 @@
     counts.  Any divergence is reported; [bench serve] turns it into a
     non-zero exit.
 
+    {!run_stream} is the same wall in O(live sessions) memory: the
+    schedule streams from a {!Workloads.Open_world.spec} (no plan
+    array), each session keeps only a chained digest of its served
+    positions instead of the trajectory, and the close-time replica is
+    {!Mobile_server.Engine.run_stream} over the session's workload
+    cursor.  This is what serves the million-live-session bench point.
+
     Clocks are injected ([?now]) because this library must stay
     wall-clock-free (the determinism-clock lint): the bench passes
     [Unix.gettimeofday], tests pass nothing and get no latencies. *)
@@ -23,15 +30,27 @@ type report = {
   errors : int;  (** [Error] replies received (0 on a healthy run). *)
   peak_live : int;  (** Daemon-reported live-session high-water mark. *)
   latencies : float array;
-      (** Per-step submit→reply seconds, submission order; empty unless
-          [~now] was given.  Feed to {!Stats.Quantile.quantile}. *)
+      (** Per-step {e sojourn} seconds (submit→reply, submission
+          order); empty unless [~now] was given.  Under the driver's
+          tick batching a step's sojourn is dominated by queueing
+          behind the rest of its tick, so its p99 measures saturation,
+          not service speed — see [service_latencies] for the latter.
+          Feed to {!Stats.Quantile.quantile}. *)
+  service_latencies : float array;
+      (** Per-tick {e service} seconds per step: each tick's flush
+          wall time divided by the step frames in the batch, one
+          sample per tick that served any step; empty unless [~now]
+          was given.  This is the daemon's actual per-step processing
+          time and the number [bench serve] headlines as step
+          latency. *)
   mismatches : string list;
       (** Human-readable identity violations, capped at {!max_reported};
           empty iff serve ≡ engine held bitwise for every session. *)
   reply_digest : string;
       (** Hex digest chained over every reply frame in submission
           order.  Equal digests across daemons ⇒ byte-identical reply
-          streams; the jobs=1 ≡ jobs=N gate compares exactly this. *)
+          streams; the jobs=1 ≡ jobs=N and stream ≡ materialized gates
+          compare exactly this. *)
 }
 
 val max_reported : int
@@ -45,3 +64,16 @@ val run : ?now:(unit -> float) -> Daemon.t -> Workloads.Open_world.t -> report
     session against [Engine.run] under {!Daemon.config} with the
     daemon's session PRNG.  The daemon is left running (not shut
     down), so a caller can serve several schedules back to back. *)
+
+val run_stream :
+  ?now:(unit -> float) -> Daemon.t -> Workloads.Open_world.spec -> report
+(** [run_stream daemon spec] serves the schedule [spec] describes via
+    {!Workloads.Open_world.iter_stream} — never materializing plans,
+    instances or trajectories — and verifies every session at close
+    against {!Mobile_server.Engine.run_stream} by comparing chained
+    position digests plus the cumulative counters and costs, all
+    bitwise.  Submits byte-identical frames in the same order as
+    [run (of_spec spec)] on an equal daemon, so the two reports'
+    [reply_digest]s are equal — the stream ≡ materialized gate.
+    Driver-side memory is O(peak live sessions): a plan, a round
+    counter and one digest per live session. *)

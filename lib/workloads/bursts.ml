@@ -1,17 +1,22 @@
 module Vec = Geometry.Vec
 module Instance = Mobile_server.Instance
 
-let generate ?(base_rate = 1.5) ?(burst_prob = 0.02) ?(burst_len = 20)
-    ?(burst_size = 12) ?(sigma = 0.8) ?(arena = 40.0) ~dim ~t rng =
-  if base_rate < 0.0 then invalid_arg "Bursts.generate: base_rate < 0";
+let validate ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena ~dim
+    ~where =
+  if base_rate < 0.0 then invalid_arg (where ^ ": base_rate < 0");
   if burst_prob < 0.0 || burst_prob > 1.0 then
-    invalid_arg "Bursts.generate: burst_prob outside [0, 1]";
+    invalid_arg (where ^ ": burst_prob outside [0, 1]");
   if burst_len < 1 || burst_size < 1 then
-    invalid_arg "Bursts.generate: non-positive burst shape";
+    invalid_arg (where ^ ": non-positive burst shape");
   if sigma < 0.0 || arena <= 0.0 then
-    invalid_arg "Bursts.generate: negative scale parameter";
-  if dim < 1 then invalid_arg "Bursts.generate: dim < 1";
-  if t < 1 then invalid_arg "Bursts.generate: t < 1";
+    invalid_arg (where ^ ": negative scale parameter");
+  if dim < 1 then invalid_arg (where ^ ": dim < 1")
+
+(* Shared per-round draw sequence: burst state lives in the closure and
+   every draw happens inside the thunk in round order, so the cursor
+   replays exactly the draws [generate]'s [Array.init t] makes. *)
+let make_cursor ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena
+    ~dim rng =
   let start = Vec.zero dim in
   let home = Vec.zero dim in
   let around c =
@@ -19,19 +24,36 @@ let generate ?(base_rate = 1.5) ?(burst_prob = 0.02) ?(burst_len = 20)
   in
   let burst_left = ref 0 in
   let hotspot = ref home in
-  let steps =
-    Array.init t (fun _ ->
-        if !burst_left = 0 && Prng.Dist.bernoulli rng ~p:burst_prob then begin
-          burst_left := burst_len;
-          hotspot := Prng.Dist.in_ball rng ~center:start ~radius:arena
-        end;
-        if !burst_left > 0 then begin
-          decr burst_left;
-          Array.init burst_size (fun _ -> around !hotspot)
-        end
-        else begin
-          let r = Prng.Dist.poisson rng ~lambda:base_rate in
-          Array.init r (fun _ -> around home)
-        end)
+  let next () =
+    if !burst_left = 0 && Prng.Dist.bernoulli rng ~p:burst_prob then begin
+      burst_left := burst_len;
+      hotspot := Prng.Dist.in_ball rng ~center:start ~radius:arena
+    end;
+    if !burst_left > 0 then begin
+      decr burst_left;
+      Array.init burst_size (fun _ -> around !hotspot)
+    end
+    else begin
+      let r = Prng.Dist.poisson rng ~lambda:base_rate in
+      Array.init r (fun _ -> around home)
+    end
   in
-  Instance.make ~start steps
+  (start, next)
+
+let cursor ?(base_rate = 1.5) ?(burst_prob = 0.02) ?(burst_len = 20)
+    ?(burst_size = 12) ?(sigma = 0.8) ?(arena = 40.0) ~dim rng =
+  validate ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena ~dim
+    ~where:"Bursts.cursor";
+  make_cursor ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena
+    ~dim rng
+
+let generate ?(base_rate = 1.5) ?(burst_prob = 0.02) ?(burst_len = 20)
+    ?(burst_size = 12) ?(sigma = 0.8) ?(arena = 40.0) ~dim ~t rng =
+  validate ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena ~dim
+    ~where:"Bursts.generate";
+  if t < 1 then invalid_arg "Bursts.generate: t < 1";
+  let start, next =
+    make_cursor ~base_rate ~burst_prob ~burst_len ~burst_size ~sigma ~arena
+      ~dim rng
+  in
+  Instance.make ~start (Array.init t (fun _ -> next ()))

@@ -18,3 +18,13 @@ val generate :
     [arena = 40.].  Rounds can be empty (the model allows it).  Raises
     [Invalid_argument] on non-positive sizes or probabilities outside
     [[0, 1]]. *)
+
+val cursor :
+  ?base_rate:float -> ?burst_prob:float -> ?burst_len:int ->
+  ?burst_size:int -> ?sigma:float -> ?arena:float -> dim:int ->
+  Prng.Xoshiro.t -> Geometry.Vec.t * (unit -> Geometry.Vec.t array)
+(** [cursor ~dim rng] is the streaming form of {!generate}: start
+    position plus a thunk producing one round per call with O(1) state
+    (the burst countdown and hotspot), bit-identical round for round to
+    [generate] on an equal generator.  Same defaults and validation as
+    {!generate}. *)

@@ -1,29 +1,49 @@
 module Vec = Geometry.Vec
 module Instance = Mobile_server.Instance
 
-let generate ?(r_min = 1) ?(r_max = 4) ?(sigma = 1.0) ?(drift = 0.3)
-    ?(switch_prob = 0.01) ?(arena = 50.0) ~dim ~t rng =
+let validate ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim ~where =
   if r_min < 1 || r_max < r_min then
-    invalid_arg "Clusters.generate: need 1 <= r_min <= r_max";
+    invalid_arg (where ^ ": need 1 <= r_min <= r_max");
   if sigma < 0.0 || drift < 0.0 || arena <= 0.0 then
-    invalid_arg "Clusters.generate: negative scale parameter";
+    invalid_arg (where ^ ": negative scale parameter");
   if switch_prob < 0.0 || switch_prob > 1.0 then
-    invalid_arg "Clusters.generate: switch_prob outside [0, 1]";
-  if dim < 1 then invalid_arg "Clusters.generate: dim < 1";
-  if t < 1 then invalid_arg "Clusters.generate: t < 1";
+    invalid_arg (where ^ ": switch_prob outside [0, 1]");
+  if dim < 1 then invalid_arg (where ^ ": dim < 1")
+
+(* The per-round draw sequence, shared verbatim by [generate] and
+   [cursor]: all mutable trajectory state (center, velocity) lives in
+   the closure, and every PRNG draw happens inside the returned thunk
+   in round order — so calling the thunk [t] times replays exactly the
+   draws [generate]'s [Array.init t] made. *)
+let make_cursor ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim rng =
   let start = Vec.zero dim in
   let center = ref (Vec.zero dim) in
   let velocity = ref (Vec.scale drift (Prng.Dist.direction rng ~dim)) in
-  let steps =
-    Array.init t (fun _ ->
-        if Prng.Dist.bernoulli rng ~p:switch_prob then begin
-          center := Prng.Dist.in_ball rng ~center:start ~radius:arena;
-          velocity := Vec.scale drift (Prng.Dist.direction rng ~dim)
-        end
-        else center := Vec.add !center !velocity;
-        let r = r_min + Prng.Xoshiro.next_below rng (r_max - r_min + 1) in
-        Array.init r (fun _ ->
-            Array.init dim (fun c ->
-                !center.(c) +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma)))
+  let next () =
+    if Prng.Dist.bernoulli rng ~p:switch_prob then begin
+      center := Prng.Dist.in_ball rng ~center:start ~radius:arena;
+      velocity := Vec.scale drift (Prng.Dist.direction rng ~dim)
+    end
+    else center := Vec.add !center !velocity;
+    let r = r_min + Prng.Xoshiro.next_below rng (r_max - r_min + 1) in
+    Array.init r (fun _ ->
+        Array.init dim (fun c ->
+            !center.(c) +. Prng.Dist.gaussian rng ~mu:0.0 ~sigma))
   in
-  Instance.make ~start steps
+  (start, next)
+
+let cursor ?(r_min = 1) ?(r_max = 4) ?(sigma = 1.0) ?(drift = 0.3)
+    ?(switch_prob = 0.01) ?(arena = 50.0) ~dim rng =
+  validate ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim
+    ~where:"Clusters.cursor";
+  make_cursor ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim rng
+
+let generate ?(r_min = 1) ?(r_max = 4) ?(sigma = 1.0) ?(drift = 0.3)
+    ?(switch_prob = 0.01) ?(arena = 50.0) ~dim ~t rng =
+  validate ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim
+    ~where:"Clusters.generate";
+  if t < 1 then invalid_arg "Clusters.generate: t < 1";
+  let start, next =
+    make_cursor ~r_min ~r_max ~sigma ~drift ~switch_prob ~arena ~dim rng
+  in
+  Instance.make ~start (Array.init t (fun _ -> next ()))

@@ -16,3 +16,15 @@ val generate :
     [drift = 0.3] per round in a random fixed direction, [switch_prob =
     0.01], hotspots uniform in a ball of radius [arena = 50.] around the
     origin.  Raises [Invalid_argument] on inconsistent parameters. *)
+
+val cursor :
+  ?r_min:int -> ?r_max:int -> ?sigma:float -> ?drift:float ->
+  ?switch_prob:float -> ?arena:float -> dim:int ->
+  Prng.Xoshiro.t -> Geometry.Vec.t * (unit -> Geometry.Vec.t array)
+(** [cursor ~dim rng] is the streaming form of {!generate}: it returns
+    the instance's start position and a thunk producing one round of
+    requests per call, in round order, with O(1) state.  Calling the
+    thunk [t] times yields bit-identical rounds to [generate ~t] on an
+    equal generator — both draw the same PRNG sequence in the same
+    order — so a streaming consumer needs no instance array at all.
+    Same defaults and validation as {!generate}. *)

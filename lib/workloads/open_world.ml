@@ -16,6 +16,15 @@ type t = {
   plans : plan array;  (* ordered by (arrival, id) *)
 }
 
+type spec = {
+  s_dim : int;
+  s_seed : int;
+  s_ticks : int;
+  s_arrival_rate : float;
+  s_mean_lifetime : float;
+  s_initial : int;
+}
+
 let family_count = 3
 
 let family_name = function
@@ -24,7 +33,7 @@ let family_name = function
   | 2 -> "random-walk"
   | i -> invalid_arg (Printf.sprintf "Open_world.family_name: %d" i)
 
-let generate ?(arrival_rate = 4.0) ?(mean_lifetime = 16.0) ?(initial = 0)
+let spec ?(arrival_rate = 4.0) ?(mean_lifetime = 16.0) ?(initial = 0)
     ~dim ~seed ~ticks () =
   if dim < 1 then invalid_arg "Open_world.generate: dim < 1";
   if ticks < 1 then invalid_arg "Open_world.generate: ticks < 1";
@@ -33,6 +42,20 @@ let generate ?(arrival_rate = 4.0) ?(mean_lifetime = 16.0) ?(initial = 0)
     invalid_arg "Open_world.generate: arrival_rate <= 0";
   if not (Float.is_finite mean_lifetime) || mean_lifetime <= 0. then
     invalid_arg "Open_world.generate: mean_lifetime <= 0";
+  {
+    s_dim = dim;
+    s_seed = seed;
+    s_ticks = ticks;
+    s_arrival_rate = arrival_rate;
+    s_mean_lifetime = mean_lifetime;
+    s_initial = initial;
+  }
+
+let of_spec (s : spec) =
+  let dim = s.s_dim and seed = s.s_seed and ticks = s.s_ticks in
+  let arrival_rate = s.s_arrival_rate in
+  let mean_lifetime = s.s_mean_lifetime in
+  let initial = s.s_initial in
   let sched = Prng.Stream.named ~name:"open-world-schedule" ~seed in
   let plans = ref [] in
   let next = ref 0 in
@@ -66,6 +89,19 @@ let generate ?(arrival_rate = 4.0) ?(mean_lifetime = 16.0) ?(initial = 0)
   let plans = Array.of_list (List.rev !plans) in
   (* Admission order is already (arrival, id) order. *)
   { dim; seed; ticks; arrival_rate; mean_lifetime; initial; plans }
+
+let generate ?arrival_rate ?mean_lifetime ?initial ~dim ~seed ~ticks () =
+  of_spec (spec ?arrival_rate ?mean_lifetime ?initial ~dim ~seed ~ticks ())
+
+let spec_of t =
+  {
+    s_dim = t.dim;
+    s_seed = t.seed;
+    s_ticks = t.ticks;
+    s_arrival_rate = t.arrival_rate;
+    s_mean_lifetime = t.mean_lifetime;
+    s_initial = t.initial;
+  }
 
 let dim t = t.dim
 let ticks t = t.ticks
@@ -120,6 +156,73 @@ let iter t ~open_ ~step ~close ~tick_end =
       (fun ((p : plan), (inst : Mobile_server.Instance.t)) ->
         let round = tick - p.arrival in
         step p ~round inst.Mobile_server.Instance.steps.(round))
+      !live;
+    live :=
+      List.filter
+        (fun ((p : plan), _) ->
+          let finished = tick - p.arrival = p.rounds - 1 in
+          if finished then close p;
+          not finished)
+        !live;
+    tick_end ~tick
+  done
+
+let plan_cursor (s : spec) (p : plan) =
+  let rng = Prng.Stream.named ~name:"open-world-session" ~seed:p.seed in
+  match p.family with
+  | 0 -> Clusters.cursor ~dim:s.s_dim rng
+  | 1 -> Bursts.cursor ~dim:s.s_dim rng
+  | 2 -> Random_walk.cursor ~dim:s.s_dim rng
+  | i -> invalid_arg (Printf.sprintf "Open_world.plan_cursor: family %d" i)
+
+(* Streaming schedule: no plan array is ever built.  The admission
+   draws replay [of_spec]'s loop verbatim — per tick, the initial
+   block (tick 0 only), one Poisson draw, then that tick's admits —
+   from the same named stream, so the plans handed to [open_] are
+   field-identical to [of_spec]'s.  Each admitted session holds only
+   its plan and workload cursor; the per-round request arrays come
+   from the cursor and are bit-identical to the materialized
+   instance's rounds ([Clusters.cursor] et al).  Live state is
+   O(concurrently live sessions), independent of the schedule's total
+   session count. *)
+let iter_stream (s : spec) ~open_ ~step ~close ~tick_end =
+  let sched = Prng.Stream.named ~name:"open-world-schedule" ~seed:s.s_seed in
+  let next_id = ref 0 in
+  (* Live sessions in id order, as in [iter]: arrivals append, closes
+     filter — no hash iteration order anywhere. *)
+  let live = ref [] in
+  let admit ~arrival opened =
+    let i = !next_id in
+    incr next_id;
+    let drawn =
+      Prng.Dist.exponential sched ~rate:(1.0 /. s.s_mean_lifetime)
+    in
+    let rounds =
+      Stdlib.max 1
+        (Stdlib.min (s.s_ticks - arrival) (int_of_float (Float.ceil drawn)))
+    in
+    let p =
+      {
+        id = Int64.of_int i;
+        seed = Exec.derive_seed ~parent:s.s_seed i;
+        family = i mod family_count;
+        arrival;
+        rounds;
+      }
+    in
+    let start, next = plan_cursor s p in
+    open_ p ~start;
+    opened := (p, next) :: !opened
+  in
+  for tick = 0 to s.s_ticks - 1 do
+    let opened = ref [] in
+    if tick = 0 then
+      for _ = 1 to s.s_initial do admit ~arrival:0 opened done;
+    let arrivals = Prng.Dist.poisson sched ~lambda:s.s_arrival_rate in
+    for _ = 1 to arrivals do admit ~arrival:tick opened done;
+    live := !live @ List.rev !opened;
+    List.iter
+      (fun ((p : plan), next) -> step p ~round:(tick - p.arrival) (next ()))
       !live;
     live :=
       List.filter

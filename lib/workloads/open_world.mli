@@ -32,6 +32,31 @@ type plan = {
 
 type t
 
+type spec = {
+  s_dim : int;
+  s_seed : int;
+  s_ticks : int;
+  s_arrival_rate : float;
+  s_mean_lifetime : float;
+  s_initial : int;
+}
+(** The generation parameters alone — everything the schedule is a
+    pure function of.  A [spec] is all {!iter_stream} needs: the
+    schedule can be served without ever materializing its plans. *)
+
+val spec :
+  ?arrival_rate:float -> ?mean_lifetime:float -> ?initial:int ->
+  dim:int -> seed:int -> ticks:int -> unit -> spec
+(** Validating constructor; same defaults and [Invalid_argument]
+    conditions as {!generate}. *)
+
+val of_spec : spec -> t
+(** Materialize the schedule a spec describes.  [generate] is
+    [of_spec ∘ spec]. *)
+
+val spec_of : t -> spec
+(** The parameters a materialized schedule was generated from. *)
+
 val generate :
   ?arrival_rate:float -> ?mean_lifetime:float -> ?initial:int ->
   dim:int -> seed:int -> ticks:int -> unit -> t
@@ -79,6 +104,31 @@ val iter :
     steps once (id order; [round] counts from 0), sessions whose last
     round just played close (id order), then [tick_end].  Instances are
     materialized at open and dropped at close. *)
+
+val plan_cursor :
+  spec -> plan -> Geometry.Vec.t * (unit -> Geometry.Vec.t array)
+(** The session's request stream in streaming form: its start position
+    and a thunk producing one round per call ({!Clusters.cursor} et
+    al), regenerated deterministically from [plan.seed].  Calling the
+    thunk [plan.rounds] times yields rounds bit-identical to
+    [plan_instance]'s steps, with O(1) live state. *)
+
+val iter_stream :
+  spec ->
+  open_:(plan -> start:Geometry.Vec.t -> unit) ->
+  step:(plan -> round:int -> Geometry.Vec.t array -> unit) ->
+  close:(plan -> unit) ->
+  tick_end:(tick:int -> unit) ->
+  unit
+(** {!iter} without the materialization: plans are admitted tick by
+    tick from the same named arrival stream {!of_spec} draws (same
+    draws, same order — the plans and their callback order are
+    identical to [iter (of_spec spec)]), and each live session's
+    rounds come from its {!plan_cursor} rather than a prebuilt
+    instance.  Live state is O(concurrently live sessions) — cursors
+    and plans, no request history — so schedules with millions of
+    total sessions stream in bounded memory.  The request array passed
+    to [step] is only valid for the duration of the callback. *)
 
 val fingerprint : t -> string
 (** Hex digest of the complete schedule (every plan field plus the

@@ -3,29 +3,43 @@ module Instance = Mobile_server.Instance
 
 let speed_bound ~dim ~sigma = 3.0 *. sigma *. sqrt (float_of_int dim)
 
-let generate ?(clients = 1) ?(sigma = 0.5) ~dim ~t rng =
-  if clients < 1 then invalid_arg "Random_walk.generate: clients < 1";
-  if sigma <= 0.0 then invalid_arg "Random_walk.generate: sigma <= 0";
-  if dim < 1 then invalid_arg "Random_walk.generate: dim < 1";
-  if t < 1 then invalid_arg "Random_walk.generate: t < 1";
+let validate ~clients ~sigma ~dim ~where =
+  if clients < 1 then invalid_arg (where ^ ": clients < 1");
+  if sigma <= 0.0 then invalid_arg (where ^ ": sigma <= 0");
+  if dim < 1 then invalid_arg (where ^ ": dim < 1")
+
+(* Shared per-round draw sequence: the walker positions live in the
+   closure and every draw happens inside the thunk in round order, so
+   the cursor replays exactly the draws [generate]'s [Array.init t]
+   makes. *)
+let make_cursor ~clients ~sigma ~dim rng =
   let start = Vec.zero dim in
   let bound = speed_bound ~dim ~sigma in
   let walkers = Array.init clients (fun _ -> Vec.zero dim) in
-  let steps =
-    Array.init t (fun _ ->
-        Array.map
-          (fun w ->
-            let step =
-              Array.init dim (fun _ -> Prng.Dist.gaussian rng ~mu:0.0 ~sigma)
-            in
-            let step =
-              let n = Vec.norm step in
-              if n > bound then Vec.scale (bound /. n) step else step
-            in
-            Vec.add w step)
-          walkers
-        |> fun next ->
-        Array.blit next 0 walkers 0 clients;
-        Array.map Vec.copy next)
+  let next () =
+    Array.map
+      (fun w ->
+        let step =
+          Array.init dim (fun _ -> Prng.Dist.gaussian rng ~mu:0.0 ~sigma)
+        in
+        let step =
+          let n = Vec.norm step in
+          if n > bound then Vec.scale (bound /. n) step else step
+        in
+        Vec.add w step)
+      walkers
+    |> fun next ->
+    Array.blit next 0 walkers 0 clients;
+    Array.map Vec.copy next
   in
-  Instance.make ~start steps
+  (start, next)
+
+let cursor ?(clients = 1) ?(sigma = 0.5) ~dim rng =
+  validate ~clients ~sigma ~dim ~where:"Random_walk.cursor";
+  make_cursor ~clients ~sigma ~dim rng
+
+let generate ?(clients = 1) ?(sigma = 0.5) ~dim ~t rng =
+  validate ~clients ~sigma ~dim ~where:"Random_walk.generate";
+  if t < 1 then invalid_arg "Random_walk.generate: t < 1";
+  let start, next = make_cursor ~clients ~sigma ~dim rng in
+  Instance.make ~start (Array.init t (fun _ -> next ()))

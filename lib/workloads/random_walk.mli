@@ -16,5 +16,14 @@ val generate :
     [3·sigma·√dim].  Raises [Invalid_argument] on non-positive
     parameters. *)
 
+val cursor :
+  ?clients:int -> ?sigma:float -> dim:int ->
+  Prng.Xoshiro.t -> Geometry.Vec.t * (unit -> Geometry.Vec.t array)
+(** [cursor ~dim rng] is the streaming form of {!generate}: start
+    position plus a thunk producing one round per call with O(clients)
+    state (the walker positions), bit-identical round for round to
+    [generate] on an equal generator.  Same defaults and validation as
+    {!generate}. *)
+
 val speed_bound : dim:int -> sigma:float -> float
 (** The clipping bound used by {!generate}: [3·sigma·√dim]. *)

@@ -1,0 +1,18 @@
+(* Seeded-bad fixture for the borrow-escape pass, Bigarray substrate:
+   writes through borrowed Fbuf / Bigarray.Array1 views.  Six findings
+   (Fbuf.set, Geometry.Fbuf.fill, Fbuf.blit into a borrow,
+   Fbuf.blit_from_array into a borrow, Bigarray.Array1.set,
+   Array1.fill). *)
+
+type t = { buf : float array }
+
+let view t = t.buf [@@borrow]
+
+let smash t scratch =
+  let v = view t in
+  Fbuf.set v 0 1.0;
+  Geometry.Fbuf.fill v 2.0;
+  Fbuf.blit scratch 0 v 0 4;
+  Fbuf.blit_from_array scratch 0 v 0 4;
+  Bigarray.Array1.set v 0 3.0;
+  Array1.fill v 4.0

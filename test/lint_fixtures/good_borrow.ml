@@ -22,3 +22,17 @@ let scale t =
 let total t =
   let v = view t in
   Array.fold_left ( +. ) 0.0 v
+
+(* Bigarray substrate: reading a borrowed Fbuf is free, and writes to
+   an owned copy are fine. *)
+
+let raw t = t.data [@@borrow]
+
+let flat_head t = Fbuf.get (raw t) 0
+
+let flat_scaled t =
+  let v = raw t in
+  let out = Fbuf.of_array (Fbuf.to_array v) in
+  Fbuf.set out 0 (Fbuf.get v 0 *. 2.0);
+  Fbuf.fill out 0.0;
+  out

@@ -46,6 +46,9 @@ let rule_borrow_write () =
 let rule_borrow_store () =
   check_only_rule "bad_borrow_store.ml" "borrow-escape" 2
 
+let rule_borrow_bigarray () =
+  check_only_rule "bad_borrow_bigarray.ml" "borrow-escape" 6
+
 let rule_determinism_clock () =
   check_only_rule "bad_clock.ml" "determinism-clock" 2
 
@@ -254,6 +257,8 @@ let () =
           Alcotest.test_case "guarded-by" `Quick rule_guarded_by;
           Alcotest.test_case "borrow-escape writes" `Quick rule_borrow_write;
           Alcotest.test_case "borrow-escape stores" `Quick rule_borrow_store;
+          Alcotest.test_case "borrow-escape bigarray writes" `Quick
+            rule_borrow_bigarray;
           Alcotest.test_case "determinism-clock" `Quick
             rule_determinism_clock;
           Alcotest.test_case "determinism-env" `Quick rule_determinism_env;

@@ -128,8 +128,12 @@ let dijkstra_lazy_matches_dense () =
     let row, base = Dij.row dense u in
     let lrow, lbase = Dij.row lazy_m u in
     for v = 0 to n - 1 do
-      if not (bit_eq row.(base + v) lrow.(lbase + v)) then
-        Alcotest.failf "lazy row %d differs from dense at %d" u v
+      if
+        not
+          (bit_eq
+             (Geometry.Fbuf.get row (base + v))
+             (Geometry.Fbuf.get lrow (lbase + v)))
+      then Alcotest.failf "lazy row %d differs from dense at %d" u v
     done
   done;
   (* Row 0 was evicted long ago; recomputation is still bit-identical,
@@ -137,8 +141,12 @@ let dijkstra_lazy_matches_dense () =
   let early, early_base = Dij.row lazy_m 0 in
   let dense0, dense0_base = Dij.row dense 0 in
   for v = 0 to n - 1 do
-    if not (bit_eq early.(early_base + v) dense0.(dense0_base + v)) then
-      Alcotest.failf "recomputed lazy row 0 differs at %d" v
+    if
+      not
+        (bit_eq
+           (Geometry.Fbuf.get early (early_base + v))
+           (Geometry.Fbuf.get dense0 (dense0_base + v)))
+    then Alcotest.failf "recomputed lazy row 0 differs at %d" v
   done
 
 (* --- Page Migration model --------------------------------------------- *)

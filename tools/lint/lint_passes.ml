@@ -576,6 +576,21 @@ let borrow_pass ~file ~(registry : registry) ~(exports : exports option)
             Some (0, "write to borrowed array")
           | [ ("Array" | "Bytes"); "blit" ] ->
             Some (2, "blit into borrowed array")
+          (* Bigarray substrate: Fbuf wraps Bigarray.Array1, and both
+             spellings mutate their first argument in place — a write
+             through a [@@borrow] view is the same escape as an
+             Array.set.  (Fbuf.blit/blit_from_array write the
+             destination, which is argument 2.) *)
+          | [ "Fbuf"; ("set" | "unsafe_set" | "fill") ]
+          | [ "Geometry"; "Fbuf"; ("set" | "unsafe_set" | "fill") ]
+          | [ "Array1"; ("set" | "unsafe_set" | "fill") ]
+          | [ "Bigarray"; "Array1"; ("set" | "unsafe_set" | "fill") ] ->
+            Some (0, "write to borrowed Bigarray buffer")
+          | [ "Fbuf"; ("blit" | "blit_from_array") ]
+          | [ "Geometry"; "Fbuf"; ("blit" | "blit_from_array") ] ->
+            Some (2, "blit into borrowed Bigarray buffer")
+          | [ "Array1"; "blit" ] | [ "Bigarray"; "Array1"; "blit" ] ->
+            Some (1, "blit into borrowed Bigarray buffer")
           | _ -> None
         in
         (match write_target with
