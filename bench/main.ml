@@ -42,6 +42,17 @@
                                                  jobs=1/2/4/8, identity-gated
                                                  (JSON to BENCH_multicore.json,
                                                  or --multicore-out PATH)
+     dune exec bench/main.exe -- fleet        -- packed fleet engine vs boxed
+                                                 at k = 10/100/1000 and the
+                                                 min-cost-flow relaxation OPT
+                                                 vs brute force + the OPT
+                                                 cache, gated on
+                                                 packed = boxed,
+                                                 flow = brute,
+                                                 cached = cold and
+                                                 jobs1 = jobsN byte-identity
+                                                 (JSON to BENCH_fleet.json,
+                                                 or --fleet-out PATH)
 
    Each experiment regenerates one reproduction target (a theorem of the
    paper; see DESIGN.md §4 and EXPERIMENTS.md) and prints its tables.
@@ -1585,6 +1596,289 @@ let run_parallel ~quick ~jobs ~out () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Fleet benchmark: the packed fleet engine vs the boxed engine, the
+   min-cost-flow relaxation optimum vs brute-force enumeration and the
+   OPT cache, and the jobs=1 vs jobs=N sweep — all gated on bitwise
+   identity.  JSON lands in BENCH_fleet.json (or --fleet-out). *)
+
+let run_fleet ~quick ~out () =
+  print_endline "\n=== FLEET: packed engine, flow OPT, identity ===\n";
+  let bit_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let all_bit_eq a b =
+    Array.length a = Array.length b && Array.for_all2 bit_eq a b
+  in
+  let config = MS.Config.make ~d_factor:2.0 ~move_limit:1.0 ~delta:0.5 () in
+  let gen ?hotspots ?r_min ?r_max ~t seed =
+    Workloads.Hotspots.generate ?hotspots ?r_min ?r_max ~dim:2 ~t
+      (Prng.Stream.named ~name:"bench-fleet" ~seed)
+  in
+  let fleet_bits_eq boxed packed =
+    let unpacked = Multi.Fleet.unpack packed in
+    Array.length boxed = Array.length unpacked
+    && Array.for_all2 (fun a b -> all_bit_eq a b) boxed unpacked
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* --- packed vs boxed engine rounds at k in {10, 100, 1000} -------- *)
+  let engine_t = if quick then 40 else 150 in
+  let engine_reps = if quick then 2 else 4 in
+  let inst = gen ~t:engine_t 1 in
+  let packed_inst = MS.Instance.pack inst in
+  let engine_rows =
+    List.map
+      (fun k ->
+        let boxed_ms =
+          time_per ~repeat:engine_reps (fun () ->
+              Multi.Fleet_engine.total_cost ~k config Multi.Fleet_mtc.independent
+                inst)
+          *. 1e3
+        in
+        let packed_ms =
+          time_per ~repeat:engine_reps (fun () ->
+              Multi.Fleet_engine.total_cost_packed ~k config
+                Multi.Fleet_mtc.independent_packed packed_inst)
+          *. 1e3
+        in
+        let br =
+          Multi.Fleet_engine.run ~k config Multi.Fleet_mtc.independent inst
+        in
+        let pr =
+          Multi.Fleet_engine.run_packed ~k config
+            Multi.Fleet_mtc.independent_packed packed_inst
+        in
+        let bc = br.Multi.Fleet_engine.cost
+        and pc = pr.Multi.Fleet_engine.p_cost in
+        let boxed_final =
+          br.Multi.Fleet_engine.fleets.(Array.length br.Multi.Fleet_engine.fleets - 1)
+        in
+        let identical =
+          bit_eq bc.MS.Cost.move pc.MS.Cost.move
+          && bit_eq bc.MS.Cost.service pc.MS.Cost.service
+          && fleet_bits_eq boxed_final pr.Multi.Fleet_engine.final
+        in
+        (k, boxed_ms, packed_ms, boxed_ms /. packed_ms, identical))
+      [ 10; 100; 1000 ]
+  in
+  let identity_packed_vs_boxed =
+    List.for_all (fun (_, _, _, _, ok) -> ok) engine_rows
+  in
+  (* --- flow OPT timings at k in {10, 100, 1000} --------------------- *)
+  let flow_points =
+    if quick then [ (10, 20); (100, 40); (1000, 67) ]
+    else [ (10, 80); (100, 167); (1000, 400) ]
+  in
+  let d_factor = config.MS.Config.d_factor in
+  let flow_rows =
+    List.map
+      (fun (k, t) ->
+        let inst = gen ~r_min:1 ~r_max:1 ~t (2000 + k) in
+        let requests = Array.concat (Array.to_list inst.MS.Instance.steps) in
+        let n = Array.length requests in
+        let flow_ms, (opt, _) =
+          timed (fun () ->
+              Multi.Fleet_flow.solve ~d_factor ~start:inst.MS.Instance.start
+                ~requests ~k)
+        in
+        (k, n, flow_ms *. 1e3, opt))
+      flow_points
+  in
+  (* --- flow vs brute at enumerable sizes ---------------------------- *)
+  let brute_rows =
+    List.map
+      (fun (k, t, seed) ->
+        let inst = gen ~hotspots:1 ~r_min:1 ~r_max:1 ~t seed in
+        let n = t in
+        let brute_ms, brute =
+          timed (fun () -> Multi.Fleet_offline.optimum_brute ~k config inst)
+        in
+        Offline.Opt_cache.clear ();
+        let flow_ms, flow =
+          timed (fun () -> Multi.Fleet_offline.optimum_flow ~k config inst)
+        in
+        ( k, n, brute_ms *. 1e3, flow_ms *. 1e3, brute_ms /. flow_ms,
+          bit_eq brute flow ))
+      (if quick then [ (2, 10, 3); (3, 8, 4) ]
+       else [ (2, 18, 3); (2, 14, 5); (3, 12, 4); (3, 10, 6) ])
+  in
+  let identity_flow_vs_brute =
+    List.for_all (fun (_, _, _, _, _, ok) -> ok) brute_rows
+  in
+  (* --- OPT cache: cold vs warm vs bypassed -------------------------- *)
+  let cache_inst = gen ~r_min:1 ~r_max:1 ~t:(if quick then 40 else 120) 77 in
+  Offline.Opt_cache.set_enabled true;
+  Offline.Opt_cache.clear ();
+  Offline.Opt_cache.reset_stats ();
+  let cache_k = 25 in
+  let cold_s, opt_cold =
+    timed (fun () -> Multi.Fleet_offline.optimum_flow ~k:cache_k config cache_inst)
+  in
+  let warm_s, opt_warm =
+    timed (fun () -> Multi.Fleet_offline.optimum_flow ~k:cache_k config cache_inst)
+  in
+  Offline.Opt_cache.set_enabled false;
+  let _, opt_uncached =
+    timed (fun () -> Multi.Fleet_offline.optimum_flow ~k:cache_k config cache_inst)
+  in
+  Offline.Opt_cache.set_enabled true;
+  let identity_cached_vs_uncached =
+    bit_eq opt_cold opt_warm && bit_eq opt_cold opt_uncached
+  in
+  let cache_stats = Offline.Opt_cache.stats () in
+  (* --- jobs=1 vs jobs=2: engine cost / flow OPT per seed ------------ *)
+  let sweep_seeds = if quick then 4 else 8 in
+  let sweep_t = if quick then 12 else 30 in
+  let sweep () =
+    Exec.map
+      (fun seed ->
+        let inst = gen ~t:sweep_t seed in
+        let packed = MS.Instance.pack inst in
+        let cost =
+          Multi.Fleet_engine.total_cost_packed ~k:16 config
+            Multi.Fleet_mtc.independent_packed packed
+        in
+        let opt = Multi.Fleet_offline.optimum_flow ~k:16 config inst in
+        cost /. opt)
+      (Array.init sweep_seeds (fun i -> 500 + i))
+  in
+  let saved_jobs = Exec.jobs () in
+  Exec.set_jobs 1;
+  Offline.Opt_cache.clear ();
+  let j1_s, sweep_j1 = timed sweep in
+  Exec.set_jobs 2;
+  Offline.Opt_cache.clear ();
+  let j2_s, sweep_j2 = timed sweep in
+  Exec.set_jobs saved_jobs;
+  let identity_jobs1_vs_jobs2 = all_bit_eq sweep_j1 sweep_j2 in
+  (* --- render ------------------------------------------------------- *)
+  Tables.print
+    ~title:
+      (Printf.sprintf "fleet engine rounds, T=%d (ms; lower is better)"
+         engine_t)
+    (Tables.create
+       ~aligns:
+         [ Tables.Right; Tables.Right; Tables.Right; Tables.Right;
+           Tables.Left ]
+       ~header:[ "k"; "boxed"; "packed"; "speedup"; "identical" ]
+       (List.map
+          (fun (k, b, p, s, ok) ->
+            [ string_of_int k; Tables.cell b; Tables.cell p; Tables.cell s;
+              string_of_bool ok ])
+          engine_rows));
+  Tables.print ~title:"flow OPT of the serve-assignment relaxation"
+    (Tables.create
+       ~aligns:[ Tables.Right; Tables.Right; Tables.Right; Tables.Right ]
+       ~header:[ "k"; "requests"; "solve (ms)"; "OPT" ]
+       (List.map
+          (fun (k, n, ms, opt) ->
+            [ string_of_int k; string_of_int n; Tables.cell ms;
+              Tables.cell opt ])
+          flow_rows));
+  Tables.print ~title:"flow vs brute-force enumeration"
+    (Tables.create
+       ~aligns:
+         [ Tables.Right; Tables.Right; Tables.Right; Tables.Right;
+           Tables.Right; Tables.Left ]
+       ~header:
+         [ "k"; "requests"; "brute (ms)"; "flow (ms)"; "speedup";
+           "identical" ]
+       (List.map
+          (fun (k, n, bms, fms, s, ok) ->
+            [ string_of_int k; string_of_int n; Tables.cell bms;
+              Tables.cell fms; Tables.cell s; string_of_bool ok ])
+          brute_rows));
+  Printf.printf "cache stats                    : %d hits, %d misses\n"
+    cache_stats.Offline.Opt_cache.hits cache_stats.Offline.Opt_cache.misses;
+  Printf.printf "flow cold %.1fms, warm %.1fms (speedup %.1fx)\n"
+    (cold_s *. 1e3) (warm_s *. 1e3) (cold_s /. warm_s);
+  Printf.printf "sweep jobs=1 %.2fs, jobs=2 %.2fs\n" j1_s j2_s;
+  Printf.printf "packed engine = boxed engine   : %b\n" identity_packed_vs_boxed;
+  Printf.printf "flow OPT = brute OPT           : %b\n" identity_flow_vs_brute;
+  Printf.printf "cached = cold = bypassed       : %b\n"
+    identity_cached_vs_uncached;
+  Printf.printf "jobs1 = jobs2                  : %b\n%!"
+    identity_jobs1_vs_jobs2;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"msp-bench-fleet-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"engine_rounds\": %d,\n" engine_t);
+  Buffer.add_string buf "  \"engine\": [\n";
+  List.iteri
+    (fun i (k, b, p, s, ok) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"k\": %d, \"boxed_ms\": %.6g, \"packed_ms\": %.6g, \
+            \"speedup\": %.6g, \"identical\": %b}%s\n"
+           k b p s ok
+           (if i < List.length engine_rows - 1 then "," else "")))
+    engine_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"flow\": [\n";
+  List.iteri
+    (fun i (k, n, ms, opt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"k\": %d, \"requests\": %d, \"solve_ms\": %.6g, \
+            \"opt\": %.6g}%s\n"
+           k n ms opt
+           (if i < List.length flow_rows - 1 then "," else "")))
+    flow_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"brute\": [\n";
+  List.iteri
+    (fun i (k, n, bms, fms, s, ok) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"k\": %d, \"requests\": %d, \"brute_ms\": %.6g, \
+            \"flow_ms\": %.6g, \"speedup\": %.6g, \"identical\": %b}%s\n"
+           k n bms fms s ok
+           (if i < List.length brute_rows - 1 then "," else "")))
+    brute_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"flow_cold_ms\": %.6g,\n" (cold_s *. 1e3));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"flow_warm_ms\": %.6g,\n" (warm_s *. 1e3));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_warm_speedup\": %.6g,\n" (cold_s /. warm_s));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_seeds\": %d,\n" sweep_seeds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_jobs1_s\": %.6g,\n" j1_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sweep_jobs2_s\": %.6g,\n" j2_s);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_packed_vs_boxed\": %b,\n"
+       identity_packed_vs_boxed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_flow_vs_brute\": %b,\n"
+       identity_flow_vs_brute);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_cached_vs_uncached\": %b,\n"
+       identity_cached_vs_uncached);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identity_jobs1_vs_jobs2\": %b\n"
+       identity_jobs1_vs_jobs2);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "fleet report written to %s\n" out;
+  if not (identity_packed_vs_boxed && identity_flow_vs_brute
+          && identity_cached_vs_uncached && identity_jobs1_vs_jobs2)
+  then begin
+    prerr_endline
+      "FATAL: fleet rewrite or flow solver is not byte-identical to its \
+       replicas";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -1596,6 +1890,7 @@ let () =
   let network_out = ref "BENCH_network.json" in
   let serve_out = ref "BENCH_serve.json" in
   let multicore_out = ref "BENCH_multicore.json" in
+  let fleet_out = ref "BENCH_fleet.json" in
   let golden_path = ref Experiments.Golden.golden_path in
   let rec strip = function
     | [] -> []
@@ -1628,6 +1923,9 @@ let () =
     | "--multicore-out" :: path :: rest ->
       multicore_out := path;
       strip rest
+    | "--fleet-out" :: path :: rest ->
+      fleet_out := path;
+      strip rest
     | "--golden" :: path :: rest ->
       golden_path := path;
       strip rest
@@ -1650,6 +1948,7 @@ let () =
        | "network" -> run_network ~quick ~out:!network_out ()
        | "serve" -> run_serve ~quick ~out:!serve_out ()
        | "multicore" -> run_multicore ~quick ~out:!multicore_out ()
+       | "fleet" -> run_fleet ~quick ~out:!fleet_out ()
        | id ->
          let result = Experiments.Catalog.run ~quick id in
          Experiments.Catalog.print_result result;

@@ -1,0 +1,23 @@
+(** Combining fleet algorithms online (the exemplar's
+    [execute_combine_*]).
+
+    Both combiners simulate every candidate internally — each candidate
+    keeps its own fleet and its cumulative cost under the real round
+    pricing ({!Fleet.step}) — and move the combiner's actual fleet
+    toward the trusted candidate's fleet at online speed.  The
+    combiner's fleet is therefore always budget-feasible, but it may
+    lag the candidate it follows; see docs/fleet.md for the
+    semantics. *)
+
+val deterministic : ?factor:float -> Fleet_algorithm.t list -> Fleet_algorithm.t
+(** ["fleet-combine-det"]: doubling hysteresis — switch to the
+    cheapest candidate (lowest index on ties) whenever the active
+    one's cumulative cost exceeds [factor] (default [2.0], must be
+    ≥ 1) times the minimum.  Deterministic given the candidates'
+    determinism. *)
+
+val randomized : ?eps:float -> Fleet_algorithm.t list -> Fleet_algorithm.t
+(** ["fleet-combine-rand"]: each round the trusted candidate is drawn
+    with probability ∝ exp(−eps·(cost − min)) on the engine's stream
+    (default: the dedicated ["fleet-combine"] stream, seed 0), so
+    reruns with the same stream are bit-identical. *)

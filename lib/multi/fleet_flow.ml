@@ -1,0 +1,307 @@
+module Vec = Geometry.Vec
+
+(* Exact optimum of the serve-assignment relaxation (docs/fleet.md):
+   every request is served by a server moving onto it, movement costs
+   [D] per unit, budgets and the service term are dropped.  A solution
+   partitions the flattened request sequence into at most [k]
+   time-increasing chains, one per server that ever moves, and costs
+
+     Σ_chains D·( d(start, r_first) + Σ_links d(r_prev, r_next) ).
+
+   Rewriting each chain against the common start position turns this
+   into an assignment problem with no big-M arcs:
+
+     OPT = D·Σ_j d(start, r_j)  +  min Σ_links c(j, l)
+     c(j, l) = D·(d(r_j, r_l) − d(start, r_l))      for j < l
+
+   where a "link" (j, l) says the server that served request [j] goes
+   on to serve request [l] next.  Each request has at most one
+   successor and at most one predecessor, and using fewer than
+   [n − k] links would need more than [k] chains — so the link set is
+   a min-cost bipartite matching of size ≥ max(0, n − k), extended
+   further only while another link has negative marginal cost.  That
+   matching is what the flow below computes: successive shortest
+   paths with Johnson potentials on flat CSR arrays (the exemplar's
+   [execute_opt_network], minus the big-M start arcs). *)
+
+(* --- binary min-heap on (float key, int node) ------------------------ *)
+
+type heap = {
+  mutable keys : float array;
+  mutable nodes : int array;
+  mutable size : int;
+}
+
+let heap_create cap =
+  let cap = if cap < 4 then 4 else cap in
+  { keys = Array.make cap 0.0; nodes = Array.make cap 0; size = 0 }
+
+let heap_clear h = h.size <- 0
+
+let heap_swap h i j =
+  let k = h.keys.(i) and n = h.nodes.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.nodes.(i) <- h.nodes.(j);
+  h.keys.(j) <- k;
+  h.nodes.(j) <- n
+
+let heap_push h key node =
+  if h.size = Array.length h.keys then begin
+    let cap = 2 * h.size in
+    let keys = Array.make cap 0.0 and nodes = Array.make cap 0 in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.nodes 0 nodes 0 h.size;
+    h.keys <- keys;
+    h.nodes <- nodes
+  end;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.keys.(!i) <- key;
+  h.nodes.(!i) <- node;
+  let up = ref true in
+  while !up && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if h.keys.(p) > h.keys.(!i) then begin
+      heap_swap h p !i;
+      i := p
+    end
+    else up := false
+  done
+
+let heap_pop h =
+  let key = h.keys.(0) and node = h.nodes.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.keys.(0) <- h.keys.(h.size);
+    h.nodes.(0) <- h.nodes.(h.size);
+    let i = ref 0 and down = ref true in
+    while !down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        heap_swap h !i !smallest;
+        i := !smallest
+      end
+      else down := false
+    done
+  end;
+  (key, node)
+
+(* --- canonical pricing ----------------------------------------------- *)
+
+(* Both the flow solver and the brute-force enumerator re-price their
+   argmin partition through this one function, so equal partitions
+   yield bit-identical totals: chains ordered by first request index,
+   links accumulated chain by chain in time order, every distance a
+   plain [Vec.dist]. *)
+let price_chains ~d_factor ~start ~(requests : Vec.t array) chains =
+  let n = Array.length requests in
+  let seen = Array.make (if n = 0 then 1 else n) false in
+  Array.iter
+    (fun chain ->
+      if Array.length chain = 0 then
+        invalid_arg "Fleet_flow.price_chains: empty chain";
+      Array.iteri
+        (fun pos j ->
+          if j < 0 || j >= n then
+            invalid_arg "Fleet_flow.price_chains: index out of bounds";
+          if seen.(j) then
+            invalid_arg "Fleet_flow.price_chains: request served twice";
+          seen.(j) <- true;
+          if pos > 0 && chain.(pos - 1) >= j then
+            invalid_arg "Fleet_flow.price_chains: chain not time-increasing")
+        chain)
+    chains;
+  for j = 0 to n - 1 do
+    if not seen.(j) then
+      invalid_arg "Fleet_flow.price_chains: request left unserved"
+  done;
+  let sorted = Array.copy chains in
+  Array.sort (fun a b -> compare a.(0) b.(0)) sorted;
+  let acc = ref 0.0 in
+  Array.iter
+    (fun chain ->
+      acc := !acc +. (d_factor *. Vec.dist start requests.(chain.(0)));
+      for pos = 1 to Array.length chain - 1 do
+        acc :=
+          !acc
+          +. (d_factor *. Vec.dist requests.(chain.(pos - 1)) requests.(chain.(pos)))
+      done)
+    sorted;
+  !acc
+
+(* --- the solver ------------------------------------------------------- *)
+
+let solve ~d_factor ~start ~(requests : Vec.t array) ~k =
+  if k < 1 then invalid_arg "Fleet_flow.solve: k < 1";
+  if d_factor <= 0.0 then invalid_arg "Fleet_flow.solve: d_factor <= 0";
+  let n = Array.length requests in
+  if n = 0 then (0.0, [||])
+  else begin
+    (* Nodes: 0 = source, 1..n = A_j (request j's out side), n+1..2n =
+       B_l (request l's in side), 2n+1 = sink. *)
+    let nodes = (2 * n) + 2 in
+    let source = 0 and sink = (2 * n) + 1 in
+    let a_node j = 1 + j and b_node l = 1 + n + l in
+    let start_d = Array.init n (fun l -> Vec.dist start requests.(l)) in
+    (* CSR arc storage: forward and residual arcs interleaved by node;
+       [arev] pairs them. *)
+    let deg = Array.make nodes 0 in
+    deg.(source) <- n;
+    for j = 0 to n - 1 do
+      deg.(a_node j) <- n - j (* rev to source + forwards to B_l, l > j *)
+    done;
+    for l = 0 to n - 1 do
+      deg.(b_node l) <- l + 1 (* revs from A_j, j < l + forward to sink *)
+    done;
+    deg.(sink) <- n;
+    let head = Array.make (nodes + 1) 0 in
+    for u = 0 to nodes - 1 do
+      head.(u + 1) <- head.(u) + deg.(u)
+    done;
+    let m = head.(nodes) in
+    let ato = Array.make m 0 in
+    let acost = Array.make m 0.0 in
+    let acap = Array.make m 0 in
+    let arev = Array.make m 0 in
+    let cursor = Array.copy head in
+    let add_arc u v cost =
+      let i = cursor.(u) and j = cursor.(v) in
+      cursor.(u) <- i + 1;
+      cursor.(v) <- j + 1;
+      ato.(i) <- v;
+      acost.(i) <- cost;
+      acap.(i) <- 1;
+      arev.(i) <- j;
+      ato.(j) <- u;
+      acost.(j) <- -.cost;
+      acap.(j) <- 0;
+      arev.(j) <- i
+    in
+    for j = 0 to n - 1 do
+      add_arc source (a_node j) 0.0
+    done;
+    for j = 0 to n - 1 do
+      for l = j + 1 to n - 1 do
+        add_arc (a_node j)
+          (b_node l)
+          (d_factor *. (Vec.dist requests.(j) requests.(l) -. start_d.(l)))
+      done
+    done;
+    for l = 0 to n - 1 do
+      add_arc (b_node l) sink 0.0
+    done;
+    (* Johnson potentials, initialized by one topological relaxation
+       pass — the forward graph is a DAG layered source → A → B →
+       sink, so visiting nodes in that order settles exact shortest
+       distances.  [B_0] has no in-arcs and stays at +inf: it is never
+       reachable (its only residual in-arc would need flow through it
+       first), so its potential is never read. *)
+    let pi = Array.make nodes infinity in
+    pi.(source) <- 0.0;
+    let relax_from u =
+      if pi.(u) < infinity then
+        for a = head.(u) to head.(u + 1) - 1 do
+          if acap.(a) > 0 then begin
+            let v = ato.(a) in
+            let d = pi.(u) +. acost.(a) in
+            if d < pi.(v) then pi.(v) <- d
+          end
+        done
+    in
+    relax_from source;
+    for j = 0 to n - 1 do
+      relax_from (a_node j)
+    done;
+    for l = 0 to n - 1 do
+      relax_from (b_node l)
+    done;
+    let dist = Array.make nodes infinity in
+    let parent = Array.make nodes (-1) in
+    let popped = Array.make nodes false in
+    let heap = heap_create (4 * nodes) in
+    let required = if n - k > 0 then n - k else 0 in
+    let flow = ref 0 in
+    let running = ref true in
+    while !running do
+      (* Dijkstra on reduced costs, early exit once the sink pops:
+         popped nodes carry final distances, the rest are treated as
+         [dist sink] in the potential update. *)
+      Array.fill dist 0 nodes infinity;
+      Array.fill parent 0 nodes (-1);
+      Array.fill popped 0 nodes false;
+      heap_clear heap;
+      dist.(source) <- 0.0;
+      heap_push heap 0.0 source;
+      let searching = ref true in
+      while !searching && heap.size > 0 do
+        let d, u = heap_pop heap in
+        if not popped.(u) && d <= dist.(u) then begin
+          popped.(u) <- true;
+          if u = sink then searching := false
+          else
+            for a = head.(u) to head.(u + 1) - 1 do
+              if acap.(a) > 0 then begin
+                let v = ato.(a) in
+                if not popped.(v) then begin
+                  let nd = d +. acost.(a) +. pi.(u) -. pi.(v) in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    parent.(v) <- a;
+                    heap_push heap nd v
+                  end
+                end
+              end
+            done
+        end
+      done;
+      if Float.equal dist.(sink) infinity then running := false
+      else begin
+        let true_cost = dist.(sink) +. pi.(sink) in
+        if !flow >= required && true_cost >= 0.0 then running := false
+        else begin
+          let v = ref sink in
+          while !v <> source do
+            let a = parent.(!v) in
+            acap.(a) <- acap.(a) - 1;
+            acap.(arev.(a)) <- acap.(arev.(a)) + 1;
+            v := ato.(arev.(a))
+          done;
+          incr flow;
+          let dsink = dist.(sink) in
+          for u = 0 to nodes - 1 do
+            pi.(u) <- pi.(u) +. (if popped.(u) then dist.(u) else dsink)
+          done
+        end
+      end
+    done;
+    (* Chain extraction from the net flow: A_j's saturated forward arc
+       names request j's successor. *)
+    let succ = Array.make n (-1) in
+    let has_pred = Array.make n false in
+    for j = 0 to n - 1 do
+      for a = head.(a_node j) to head.(a_node j + 1) - 1 do
+        let v = ato.(a) in
+        if v > n && v <= 2 * n && acap.(a) = 0 then begin
+          let l = v - n - 1 in
+          succ.(j) <- l;
+          has_pred.(l) <- true
+        end
+      done
+    done;
+    let chains = ref [] in
+    for j = n - 1 downto 0 do
+      if not has_pred.(j) then begin
+        let chain = ref [] and cur = ref j in
+        while !cur >= 0 do
+          chain := !cur :: !chain;
+          cur := succ.(!cur)
+        done;
+        chains := Array.of_list (List.rev !chain) :: !chains
+      end
+    done;
+    let chains = Array.of_list !chains in
+    (price_chains ~d_factor ~start ~requests chains, chains)
+  end

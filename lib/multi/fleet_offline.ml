@@ -37,7 +37,91 @@ let single_server (config : Config.t) inst =
   if Instance.dim inst = 1 then Offline.Line_dp.optimum config inst
   else Offline.Convex_opt.optimum config inst
 
+(* The tie rule of [best_upper], exposed so the regression suite can
+   pin it: k-means wins ties, so the label stays stable when the
+   single-server bound degenerates to the same cost (e.g. k = 1 with a
+   deterministic clustering). *)
+let pick ~km ~solo =
+  if km <= solo then (km, "static-kmeans") else (solo, "single-server-opt")
+
 let best_upper ~k config inst rng =
   let km = static_kmeans ~k config inst rng in
   let solo = single_server config inst in
-  if km <= solo then (km, "static-kmeans") else (solo, "single-server-opt")
+  pick ~km ~solo
+
+let optimum ~k config inst rng = fst (best_upper ~k config inst rng)
+
+(* --- exact optimum of the serve-assignment relaxation ---------------- *)
+
+let flatten (inst : Instance.t) =
+  Array.concat (Array.to_list inst.Instance.steps)
+
+(* Cache key for [fleet-flow:v1]: everything the relaxation can observe
+   — [k], D's IEEE bits and every coordinate of the instance (via its
+   content digest).  [move_limit], [delta] and the variant are excluded
+   on purpose: the relaxation has no budget and no service term, so
+   sweeping them hits the same entries. *)
+let flow_key ~k ~d_factor packed =
+  let buf = Buffer.create 64 in
+  Buffer.add_int64_le buf (Int64.of_int k);
+  Buffer.add_int64_le buf (Int64.bits_of_float d_factor);
+  Buffer.add_string buf (Instance.Packed.content_digest packed);
+  Buffer.contents buf
+
+let optimum_flow ~k (config : Config.t) inst =
+  let packed = Instance.pack inst in
+  Offline.Opt_cache.find_or_compute_keyed ~solver:"fleet-flow:v1"
+    ~key:(flow_key ~k ~d_factor:config.Config.d_factor packed)
+    (fun () ->
+      fst
+        (Fleet_flow.solve ~d_factor:config.Config.d_factor
+           ~start:inst.Instance.start ~requests:(flatten inst) ~k))
+
+let optimum_brute ~k (config : Config.t) inst =
+  if k < 1 then invalid_arg "Fleet_offline.optimum_brute: k < 1";
+  let requests = flatten inst in
+  let n = Array.length requests in
+  if n = 0 then 0.0
+  else begin
+    let states = (float_of_int k) ** float_of_int n in
+    if states > 2e6 then
+      invalid_arg "Fleet_offline.optimum_brute: instance too large";
+    let d_factor = config.Config.d_factor in
+    let start = inst.Instance.start in
+    (* Enumerate server assignments in lexicographic order; strict [<]
+       keeps the lexicographically first argmin, which the canonical
+       re-pricing below then prices exactly like the flow solver. *)
+    let assign = Array.make n 0 in
+    let best_assign = Array.make n 0 in
+    let best = ref infinity in
+    let last = Array.make k (-1) in
+    let rec go j cost =
+      if cost >= !best then ()
+      else if j = n then begin
+        best := cost;
+        Array.blit assign 0 best_assign 0 n
+      end
+      else
+        for s = 0 to k - 1 do
+          let prev = last.(s) in
+          let from = if prev < 0 then start else requests.(prev) in
+          let d = d_factor *. Vec.dist from requests.(j) in
+          assign.(j) <- s;
+          last.(s) <- j;
+          go (j + 1) (cost +. d);
+          last.(s) <- prev
+        done
+    in
+    go 0 0.0;
+    let buckets = Array.make k [] in
+    for j = n - 1 downto 0 do
+      buckets.(best_assign.(j)) <- j :: buckets.(best_assign.(j))
+    done;
+    let chains =
+      Array.of_list
+        (List.filter_map
+           (fun l -> if l = [] then None else Some (Array.of_list l))
+           (Array.to_list buckets))
+    in
+    Fleet_flow.price_chains ~d_factor ~start ~requests chains
+  end

@@ -1,0 +1,24 @@
+(** Follow-the-Prediction for fleets, with seeded noisy predictions.
+
+    Mirrors the exemplar's [ftp_solver] / [generate_prediction_list]:
+    the oracle trajectory is the greedy relaxation (each request pulls
+    its nearest server onto itself — strict [<], lowest index on
+    ties), optionally blurred with per-coordinate Gaussian noise from
+    the dedicated ["fleet-predict"] stream.  Same
+    [(k, sigma, seed, instance)], same predictions, bit for bit. *)
+
+val generate :
+  k:int -> ?sigma:float -> seed:int -> Mobile_server.Instance.t ->
+  Geometry.Vec.t array array
+(** [generate ~k ?sigma ~seed inst] is one predicted fleet per round.
+    [sigma] defaults to [0.0] (the noiseless oracle itself).  Raises
+    [Invalid_argument] if [k < 1] or [sigma < 0]. *)
+
+val follow : predictions:Geometry.Vec.t array array -> Fleet_algorithm.t
+(** ["fleet-ftp"]: walk every server toward its predicted position at
+    online speed; past the end of the list the fleet stays put. *)
+
+val algorithm :
+  k:int -> ?sigma:float -> seed:int -> Mobile_server.Instance.t ->
+  Fleet_algorithm.t
+(** [follow ~predictions:(generate ...)]. *)

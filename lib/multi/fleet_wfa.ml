@@ -1,0 +1,231 @@
+module Vec = Geometry.Vec
+module Fbuf = Geometry.Fbuf
+module Config = Mobile_server.Config
+module Instance = Mobile_server.Instance
+
+(* The Work-Function Algorithm over the serve-assignment relaxation
+   (docs/fleet.md).  A config is a multiset of [k] positions drawn from
+   the {e pool} — the start plus every request seen so far, stored in a
+   growable Fbuf — encoded as a sorted tuple of pool indices.  The work
+   function w_t over configs updates {e incrementally} per request on
+   reused Fbuf rows: each beamed config spawns [k] one-server children,
+   children are deduped keeping the smaller value (the lazy DP step —
+   in the relaxation only the serving server needs to move, so the
+   one-replacement update is exact), sorted by (value, config) and
+   truncated to the beam.  The algorithm's own labeled config is
+   force-kept in the beam, so its decision values always exist.  With a
+   beam at least the reachable config count the DP is untruncated and
+   [opt_estimate] equals the relaxation optimum (pinned against the
+   brute enumerator in test_fleet); any smaller beam keeps
+   [opt_estimate >= OPT_relax]. *)
+
+type t = {
+  k : int;
+  dim : int;
+  d_factor : float;
+  beam_cap : int;
+  mutable pool : Fbuf.t;
+  mutable pool_len : int;
+  (* Beam: [configs.(c)] (sorted pool-index tuples) with values in the
+     reused row [w.(c)], [beam_len] entries. *)
+  configs : int array array;
+  w : Fbuf.t;
+  mutable beam_len : int;
+  (* Child scratch: up to [k·beam_cap] candidates per request, values
+     in the reused row [child_w]. *)
+  child_configs : int array array;
+  child_w : Fbuf.t;
+  tbl : (int array, int) Hashtbl.t;
+  (* The algorithm's own labeled config and its accumulated
+     (relaxation-level) service cost. *)
+  cur : int array;
+  mutable cur_w : float;
+  mutable serve_cost : float;
+}
+
+let create ~beam ~k ~d_factor (start : Vec.t) =
+  if k < 1 then invalid_arg "Fleet_wfa: k < 1";
+  if beam < 1 then invalid_arg "Fleet_wfa: beam < 1";
+  let dim = Vec.dim start in
+  let pool = Fbuf.create (dim * 16) in
+  Fbuf.blit_from_array start 0 pool 0 dim;
+  let t =
+    {
+      k;
+      dim;
+      d_factor;
+      beam_cap = beam;
+      pool;
+      pool_len = 1;
+      configs = Array.make beam [||];
+      w = Fbuf.create beam;
+      beam_len = 1;
+      child_configs = Array.make (k * beam) [||];
+      child_w = Fbuf.create (k * beam);
+      tbl = Hashtbl.create (4 * k * beam);
+      cur = Array.make k 0;
+      cur_w = 0.0;
+      serve_cost = 0.0;
+    }
+  in
+  t.configs.(0) <- Array.make k 0;
+  Fbuf.set t.w 0 0.0;
+  t
+
+(* [Vec.dist] between pool entries, operation for operation. *)
+let pool_dist t a b =
+  let d = t.dim in
+  let ba = a * d and bb = b * d in
+  let pool = t.pool in
+  let m = ref 0.0 in
+  for c = 0 to d - 1 do
+    m := Float.max !m (Float.abs (Fbuf.get pool (ba + c) -. Fbuf.get pool (bb + c)))
+  done;
+  let m = !m in
+  if Float.equal m 0.0 then 0.0
+  else if Float.equal m infinity then infinity
+  else begin
+    let acc = ref 0.0 in
+    for c = 0 to d - 1 do
+      let x = (Fbuf.get pool (ba + c) -. Fbuf.get pool (bb + c)) /. m in
+      acc := !acc +. (x *. x)
+    done;
+    m *. sqrt !acc
+  end
+
+let pool_get t i = Array.init t.dim (fun c -> Fbuf.get t.pool ((i * t.dim) + c))
+
+let append_pool t (r : Vec.t) =
+  if Array.length r <> t.dim then
+    invalid_arg "Fleet_wfa: request dimension mismatch";
+  if (t.pool_len + 1) * t.dim > Fbuf.length t.pool then begin
+    let fresh = Fbuf.create (2 * Fbuf.length t.pool) in
+    Fbuf.blit t.pool 0 fresh 0 (t.pool_len * t.dim);
+    t.pool <- fresh
+  end;
+  Fbuf.blit_from_array r 0 t.pool (t.pool_len * t.dim) t.dim;
+  t.pool_len <- t.pool_len + 1;
+  t.pool_len - 1
+
+let cmp_child t a b =
+  let wa = Fbuf.get t.child_w a and wb = Fbuf.get t.child_w b in
+  let c = Float.compare wa wb in
+  if c <> 0 then c else compare t.child_configs.(a) t.child_configs.(b)
+
+(* Feed one request; returns the serving server's index in the
+   algorithm's labeled config (strict argmin, lowest index). *)
+let observe t (r : Vec.t) =
+  let p = append_pool t r in
+  let k = t.k in
+  (* Spawn and dedup children of every beamed config. *)
+  Hashtbl.reset t.tbl;
+  let nchild = ref 0 in
+  for c = 0 to t.beam_len - 1 do
+    let base = Fbuf.get t.w c in
+    let cfg = t.configs.(c) in
+    for i = 0 to k - 1 do
+      let w' = base +. (t.d_factor *. pool_dist t cfg.(i) p) in
+      let key = Array.copy cfg in
+      key.(i) <- p;
+      Array.sort compare key;
+      match Hashtbl.find_opt t.tbl key with
+      | Some slot ->
+        if w' < Fbuf.get t.child_w slot then Fbuf.set t.child_w slot w'
+      | None ->
+        let slot = !nchild in
+        incr nchild;
+        t.child_configs.(slot) <- key;
+        Fbuf.set t.child_w slot w';
+        Hashtbl.replace t.tbl key slot
+    done
+  done;
+  (* The algorithm's decision: serve with the server minimizing
+     w_t(cur[i := r]) + D·d(cur_i, r); those children all exist in the
+     table because cur is force-kept in the beam. *)
+  let best_i = ref 0 and best_v = ref infinity and best_w = ref infinity in
+  let probe = Array.make k 0 in
+  for i = 0 to k - 1 do
+    Array.blit t.cur 0 probe 0 k;
+    probe.(i) <- p;
+    Array.sort compare probe;
+    let slot = Hashtbl.find t.tbl probe in
+    let w' = Fbuf.get t.child_w slot in
+    let v = w' +. (t.d_factor *. pool_dist t t.cur.(i) p) in
+    if v < !best_v then begin
+      best_i := i;
+      best_v := v;
+      best_w := w'
+    end
+  done;
+  t.serve_cost <- t.serve_cost +. (t.d_factor *. pool_dist t t.cur.(!best_i) p);
+  t.cur.(!best_i) <- p;
+  t.cur_w <- !best_w;
+  (* New beam: children sorted by (value, tuple), truncated, with the
+     algorithm's (canonicalized) config force-kept. *)
+  let order = Array.init !nchild (fun i -> i) in
+  Array.sort (cmp_child t) order;
+  let keep = if !nchild < t.beam_cap then !nchild else t.beam_cap in
+  let cur_key = Array.copy t.cur in
+  Array.sort compare cur_key;
+  let cur_kept = ref false in
+  for c = 0 to keep - 1 do
+    let slot = order.(c) in
+    t.configs.(c) <- t.child_configs.(slot);
+    Fbuf.set t.w c (Fbuf.get t.child_w slot);
+    if t.child_configs.(slot) = cur_key then cur_kept := true
+  done;
+  t.beam_len <-
+    (if !cur_kept then keep
+     else begin
+       let c = if keep = t.beam_cap then keep - 1 else keep in
+       t.configs.(c) <- cur_key;
+       Fbuf.set t.w c t.cur_w;
+       if keep < t.beam_cap then keep + 1 else keep
+     end);
+  !best_i
+
+let opt_estimate t =
+  let best = ref (Fbuf.get t.w 0) in
+  for c = 1 to t.beam_len - 1 do
+    let w = Fbuf.get t.w c in
+    if w < !best then best := w
+  done;
+  !best
+
+let serve_cost t = t.serve_cost
+
+let default_beam = 64
+
+type outcome = { serve_cost : float; opt_estimate : float }
+
+let run ?(beam = default_beam) ~k (config : Config.t) (inst : Instance.t) =
+  let t = create ~beam ~k ~d_factor:config.Config.d_factor inst.Instance.start in
+  Array.iter (fun round -> Array.iter (fun r -> ignore (observe t r)) round)
+    inst.Instance.steps;
+  { serve_cost = serve_cost t; opt_estimate = opt_estimate t }
+
+(* The engine-facing wrapper: per round, feed each request to the DP in
+   arrival order, then propose the labeled config's positions; the
+   internal fleet (and the engine again, idempotently) clamps the
+   proposal onto the online budget, exactly like [kmeans_tracker]. *)
+let algorithm ?(beam = default_beam) () =
+  {
+    Fleet_algorithm.name = "fleet-wfa";
+    make =
+      (fun ?rng:_ (config : Config.t) ~start ->
+        let k = Array.length start in
+        if k = 0 then invalid_arg "fleet-wfa: empty fleet";
+        let t = create ~beam ~k ~d_factor:config.Config.d_factor start.(0) in
+        let fleet = ref (Array.map Vec.copy start) in
+        let limit = Config.online_limit config in
+        fun requests ->
+          Array.iter (fun r -> ignore (observe t r)) requests;
+          let proposed = Array.init k (fun i -> pool_get t t.cur.(i)) in
+          let clamped =
+            Array.mapi
+              (fun i p -> Vec.clamp_step ~from:(!fleet).(i) limit p)
+              proposed
+          in
+          fleet := clamped;
+          clamped);
+  }

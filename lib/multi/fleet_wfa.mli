@@ -1,0 +1,36 @@
+(** Work-Function Algorithm for fleets, on the serve-assignment
+    relaxation.
+
+    The work function over server configs (multisets of [k] pool
+    positions: the start plus every request seen) is maintained
+    {e incrementally} — one beam update per request on reused
+    [Geometry.Fbuf] rows, no per-round re-solve.  See docs/fleet.md
+    for the update contract and the exactness argument: untruncated
+    (beam ≥ reachable configs) the lazy one-replacement DP is the
+    exact relaxation work function, truncated it stays an upper bound,
+    so [opt_estimate >= OPT_relax] always. *)
+
+type outcome = {
+  serve_cost : float;
+      (** Relaxation-level cost of the WFA's own moves,
+          [Σ D·d(server, request)] over its serve decisions. *)
+  opt_estimate : float;
+      (** Min work-function value over the final beam: the relaxation
+          optimum when the beam never truncated, an upper bound on it
+          otherwise. *)
+}
+
+val default_beam : int
+
+val run :
+  ?beam:int -> k:int -> Mobile_server.Config.t ->
+  Mobile_server.Instance.t -> outcome
+(** Play the WFA over the instance's flattened request sequence at the
+    relaxation level (no movement budget; servers land exactly on
+    requests).  Deterministic: same inputs, same bits. *)
+
+val algorithm : ?beam:int -> unit -> Fleet_algorithm.t
+(** ["fleet-wfa"] for {!Fleet_engine}: per round the requests are fed
+    to the incremental DP in arrival order and the relaxed config's
+    positions are proposed, clamped onto the online budget.  Assumes
+    the engine's colocated start ({!Fleet.spread_start}). *)

@@ -500,6 +500,42 @@ let do_fleet_check st k =
         fleet)
     f1
 
+let do_fleet_opt st k =
+  st.checks <- st.checks + 1;
+  let k = max 2 (min k 3) in
+  (* Truncate the prefix to at most 6 flattened requests so the
+     brute-force enumerator stays well inside its state bound at
+     k = 3; the flow solver sees the exact same instance. *)
+  let budget = ref 6 in
+  let rounds =
+    List.rev st.prefix_rev
+    |> List.filter_map (fun round ->
+           if !budget <= 0 then None
+           else begin
+             let take = min (Array.length round) !budget in
+             budget := !budget - take;
+             Some (Array.sub round 0 take)
+           end)
+    |> Array.of_list
+  in
+  let inst = Instance.make ~start:(start ()) rounds in
+  let flow = Multi.Fleet_offline.optimum_flow ~k config inst in
+  let brute = Multi.Fleet_offline.optimum_brute ~k config inst in
+  if not (same_bits flow brute) then
+    check_failed "flow OPT %.17g diverges from brute-force OPT %.17g" flow
+      brute;
+  let o1 = Multi.Fleet_wfa.run ~beam:128 ~k config inst in
+  let o2 = Multi.Fleet_wfa.run ~beam:128 ~k config inst in
+  if
+    not
+      (same_bits o1.Multi.Fleet_wfa.serve_cost o2.Multi.Fleet_wfa.serve_cost
+      && same_bits o1.Multi.Fleet_wfa.opt_estimate
+           o2.Multi.Fleet_wfa.opt_estimate)
+  then check_failed "work-function replays with equal inputs disagree";
+  if o1.Multi.Fleet_wfa.opt_estimate < flow -. 1e-9 then
+    check_failed "work-function estimate %.17g undercuts the flow OPT %.17g"
+      o1.Multi.Fleet_wfa.opt_estimate flow
+
 let do_concurrent_step st k =
   st.checks <- st.checks + 1;
   let k = max 1 (min k 8) in
@@ -588,6 +624,7 @@ let exec_op st ~inject_bug op =
         u v l d
   | Op.Metric_invalidate -> Network.Dijkstra.invalidate st.lazy_m
   | Op.Fleet_check k -> do_fleet_check st k
+  | Op.Fleet_opt_check k -> do_fleet_opt st k
   | Op.Concurrent_step k -> do_concurrent_step st k
   | Op.Serve_open -> do_serve_open st
   | Op.Serve_step (t, requests) -> do_serve_step st t requests

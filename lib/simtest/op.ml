@@ -27,6 +27,7 @@ type op =
   | Serve_close of int
   | Serve_kill of int * bool
   | Serve_bad_frame of bad_frame
+  | Fleet_opt_check of int
 
 type weights = {
   step : float;
@@ -48,6 +49,7 @@ type weights = {
   serve_close : float;
   serve_kill : float;
   serve_bad_frame : float;
+  fleet_opt_check : float;
 }
 
 let default_weights =
@@ -71,6 +73,7 @@ let default_weights =
     serve_close = 0.03;
     serve_kill = 0.02;
     serve_bad_frame = 0.02;
+    fleet_opt_check = 0.03;
   }
 
 (* --- generation ------------------------------------------------------ *)
@@ -105,6 +108,7 @@ let categories w =
     w.serve_close;
     w.serve_kill;
     w.serve_bad_frame;
+    w.fleet_opt_check;
   |]
 
 let gen ~graph_nodes w g =
@@ -155,12 +159,13 @@ let gen ~graph_nodes w g =
   | 17 ->
     let shard = Prng.Xoshiro.next_below g 8 in
     Serve_kill (shard, Prng.Dist.fair_coin g)
-  | _ ->
+  | 18 ->
     Serve_bad_frame
       (match Prng.Xoshiro.next_below g 3 with
        | 0 -> Truncated
        | 1 -> Bad_version
        | _ -> Non_finite_coord)
+  | _ -> Fleet_opt_check (2 + Prng.Xoshiro.next_below g 2)
 
 (* --- serialization --------------------------------------------------- *)
 
@@ -217,6 +222,7 @@ let to_string = function
   | Serve_kill (shard, lose) ->
     Printf.sprintf "serve-kill %d %s" shard (if lose then "lose" else "keep")
   | Serve_bad_frame kind -> "serve-bad-frame " ^ bad_frame_to_string kind
+  | Fleet_opt_check k -> Printf.sprintf "fleet-opt %d" k
 
 let ( let* ) = Result.bind
 
@@ -306,6 +312,7 @@ let of_string line =
   | "serve-bad-frame", "truncated" -> Ok (Serve_bad_frame Truncated)
   | "serve-bad-frame", "bad-version" -> Ok (Serve_bad_frame Bad_version)
   | "serve-bad-frame", "non-finite" -> Ok (Serve_bad_frame Non_finite_coord)
+  | "fleet-opt", k -> Result.map (fun k -> Fleet_opt_check k) (parse_int k)
   | _ -> Error (Printf.sprintf "unknown op %S" line)
 
 (* --- shrinking-time simplification ----------------------------------- *)
@@ -316,6 +323,7 @@ let simplify = function
        shortest still-failing round. *)
     List.init (Array.length requests) (fun n -> Step (Array.sub requests 0 n))
   | Fleet_check k when k > 2 -> [ Fleet_check 2 ]
+  | Fleet_opt_check k when k > 2 -> [ Fleet_opt_check 2 ]
   | Concurrent_step k when k > 2 -> [ Concurrent_step 2 ]
   | Serve_step (t, requests) when Array.length requests > 0 ->
     List.init (Array.length requests) (fun n ->

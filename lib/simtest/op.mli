@@ -85,6 +85,12 @@ type op =
       (** Send a mangled frame: the daemon must answer a precise
           [Error Bad_frame] and keep serving — a hostile frame never
           kills a shard. *)
+  | Fleet_opt_check of int
+      (** Differential fleet-OPT oracle on a ≤ 6-request truncation of
+          the prefix: {!Multi.Fleet_offline.optimum_flow} must equal
+          the brute-force enumeration bitwise, and the work-function
+          solver must replay deterministically with an estimate no
+          smaller than the flow optimum. *)
 
 (** Relative draw weights for {!gen}; they need not sum to 1. *)
 type weights = {
@@ -107,6 +113,7 @@ type weights = {
   serve_close : float;
   serve_kill : float;
   serve_bad_frame : float;
+  fleet_opt_check : float;
 }
 
 val default_weights : weights

@@ -103,7 +103,7 @@ let sweep_slope_line_no_fit () =
 let catalog_ids () =
   Alcotest.(check (list string)) "ids"
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "t1";
-      "a1"; "a2"; "x1"; "b1" ]
+      "a1"; "a2"; "x1"; "b1"; "f1" ]
     Experiments.Catalog.ids
 
 let catalog_unknown_id () =
@@ -240,6 +240,7 @@ let () =
           Alcotest.test_case "a2 quick" `Slow (catalog_quick_fast "a2");
           Alcotest.test_case "x1 quick" `Slow (catalog_quick_fast "x1");
           Alcotest.test_case "b1 quick" `Slow (catalog_quick_fast "b1");
+          Alcotest.test_case "f1 quick" `Slow (catalog_quick_fast "f1");
           Alcotest.test_case "e1 findings" `Quick catalog_e1_grows;
           Alcotest.test_case "e9 invariant" `Quick catalog_e9_invariant_holds;
           Alcotest.test_case "identical across jobs" `Quick

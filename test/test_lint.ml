@@ -49,6 +49,9 @@ let rule_borrow_store () =
 let rule_borrow_bigarray () =
   check_only_rule "bad_borrow_bigarray.ml" "borrow-escape" 6
 
+let rule_borrow_fleet () =
+  check_only_rule "bad_borrow_fleet.ml" "borrow-escape" 5
+
 let rule_determinism_clock () =
   check_only_rule "bad_clock.ml" "determinism-clock" 2
 
@@ -259,6 +262,8 @@ let () =
           Alcotest.test_case "borrow-escape stores" `Quick rule_borrow_store;
           Alcotest.test_case "borrow-escape bigarray writes" `Quick
             rule_borrow_bigarray;
+          Alcotest.test_case "borrow-escape fleet buffers" `Quick
+            rule_borrow_fleet;
           Alcotest.test_case "determinism-clock" `Quick
             rule_determinism_clock;
           Alcotest.test_case "determinism-env" `Quick rule_determinism_env;
